@@ -1,0 +1,40 @@
+"""Shared machinery for the benchmark suite.
+
+Every benchmark runs one registered experiment (quick sweep by default —
+set ``REPRO_BENCH_FULL=1`` for the full sweeps recorded in
+EXPERIMENTS.md), times it with pytest-benchmark, asserts the experiment's
+shape checks, attaches the headline numbers to ``extra_info`` and writes
+the rendered paper-style table to ``benchmarks/out/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_experiment
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def run_experiment_benchmark(benchmark, exp_id: str):
+    """Benchmark one experiment end to end and persist its table."""
+    quick = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+    exp = get_experiment(exp_id)
+    result = benchmark.pedantic(lambda: exp(quick=quick), rounds=1, iterations=1)
+    OUT_DIR.mkdir(exist_ok=True)
+    rendered = result.render()
+    (OUT_DIR / f"{exp_id.replace('.', '_')}.txt").write_text(rendered + "\n")
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["mode"] = "quick" if quick else "full"
+    benchmark.extra_info["checks"] = {name: ok for name, ok in result.checks}
+    failed = [name for name, ok in result.checks if not ok]
+    assert result.passed, f"{exp_id} failed shape checks: {failed}"
+    return result
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    return lambda exp_id: run_experiment_benchmark(benchmark, exp_id)

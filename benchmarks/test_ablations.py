@@ -1,0 +1,26 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+
+def test_abl1_merge_fanout(run_experiment):
+    """Pass count collapses as the merge fanout grows toward M/B."""
+    run_experiment("ABL1")
+
+
+def test_abl2_memory_splitter_granularity(run_experiment):
+    """Splitter count P trades resident state against |D| ≈ K·N/P."""
+    run_experiment("ABL2")
+
+
+def test_abl3_two_sided_threshold(run_experiment):
+    """The a ≥ N/2K quantile-fallback switch, swept across the threshold."""
+    run_experiment("ABL3")
+
+
+def test_abl4_pivot_sources(run_experiment):
+    """Deterministic cascade (worst-case guarantee) vs random sampling."""
+    run_experiment("ABL4")
+
+
+def test_abl5_randomized_vs_deterministic(run_experiment):
+    """Las Vegas sampling vs the paper's deterministic machinery."""
+    run_experiment("ABL5")

@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the EM substrate operations.
+
+These time the *simulator* (wall clock) while recording the simulated
+I/O count in ``extra_info`` — useful to keep the simulation overhead per
+simulated I/O visible when the substrate evolves.
+"""
+
+import numpy as np
+
+from repro.alg import (
+    approx_quantile_pivots,
+    distribute_by_pivots,
+    external_sort,
+    multi_partition,
+    select_rank,
+    select_rank_fast,
+)
+from repro.core import intermixed_select, memory_splitters, multi_select
+from repro.em import Machine, composite
+from repro.em.records import make_records, sort_records
+from repro.workloads import load_input, random_permutation
+
+N = 30_000
+
+
+def _machine_and_input(seed=0):
+    mach = Machine(memory=4096, block=64)
+    recs = random_permutation(N, seed=seed)
+    return mach, recs, load_input(mach, recs)
+
+
+def _run(benchmark, mach, fn):
+    def task():
+        mach.reset_counters()
+        out = fn()
+        return out
+
+    benchmark.pedantic(task, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_io"] = mach.io.total
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["io_per_block"] = mach.io.total / (N / mach.B)
+
+
+def test_micro_scan(benchmark):
+    mach, recs, f = _machine_and_input()
+    def scan():
+        total = 0
+        for i in range(f.num_blocks):
+            total += len(f.read_block(i))
+        return total
+    _run(benchmark, mach, scan)
+
+
+def test_micro_external_sort(benchmark):
+    mach, recs, f = _machine_and_input(1)
+    outs = []
+    def task():
+        out = external_sort(mach, f)
+        outs.append(out)
+        return out
+    _run(benchmark, mach, task)
+    for out in outs:
+        out.free()
+
+
+def test_micro_distribute(benchmark):
+    mach, recs, f = _machine_and_input(2)
+    pivots = sort_records(recs)[:: N // 16][1:]
+    buckets_list = []
+    def task():
+        buckets = distribute_by_pivots(mach, f, pivots)
+        buckets_list.extend(buckets)
+        return buckets
+    _run(benchmark, mach, task)
+    for b in buckets_list:
+        b.free()
+
+
+def test_micro_pivot_cascade(benchmark):
+    mach, recs, f = _machine_and_input(3)
+    _run(benchmark, mach, lambda: approx_quantile_pivots(mach, f, 29))
+
+
+def test_micro_select_bfprt(benchmark):
+    mach, recs, f = _machine_and_input(4)
+    _run(benchmark, mach, lambda: select_rank(mach, f, N // 2))
+
+
+def test_micro_select_fast(benchmark):
+    mach, recs, f = _machine_and_input(5)
+    _run(benchmark, mach, lambda: select_rank_fast(mach, f, N // 2))
+
+
+def test_micro_memory_splitters(benchmark):
+    mach, recs, f = _machine_and_input(6)
+    _run(benchmark, mach, lambda: memory_splitters(mach, f))
+
+
+def test_micro_multiselect_small_k(benchmark):
+    mach, recs, f = _machine_and_input(7)
+    ranks = np.linspace(1, N, 8).astype(np.int64)
+    _run(benchmark, mach, lambda: multi_select(mach, f, ranks))
+
+
+def test_micro_multipartition(benchmark):
+    mach, recs, f = _machine_and_input(8)
+    pfs = []
+    def task():
+        pf = multi_partition(mach, f, [N // 8] * 8)
+        pfs.append(pf)
+        return pf
+    _run(benchmark, mach, task)
+    for pf in pfs:
+        pf.free()
+
+
+def test_micro_intermixed(benchmark):
+    mach = Machine(memory=4096, block=64)
+    rng = np.random.default_rng(9)
+    L = 32
+    grps = rng.integers(0, L, size=N)
+    grps[:L] = np.arange(L)
+    recs = make_records(rng.integers(0, 2**30, size=N), grps=grps)
+    d = load_input(mach, recs)
+    sizes = np.bincount(grps, minlength=L)
+    t = rng.integers(1, sizes + 1)
+    _run(benchmark, mach, lambda: intermixed_select(mach, d, t))

@@ -1,0 +1,16 @@
+"""Table 1, rows 4-6: approximate K-partitioning benchmarks."""
+
+
+def test_t1_row4_right_grounded_partitioning(run_experiment):
+    """Ω(N/B) lower (every element seen); O(N/B + (aK/B)·lg·) upper."""
+    run_experiment("T1.R4")
+
+
+def test_t1_row5_left_grounded_partitioning(run_experiment):
+    """Θ((N/B)·lg_{M/B} min{N/b, N/B}) (Thms 3, 6)."""
+    run_experiment("T1.R5")
+
+
+def test_t1_row6_two_sided_partitioning(run_experiment):
+    """O((aK/B)·lg min{K, aK/B} + (N/B)·lg min{N/b, N/B}) (Thm 6)."""
+    run_experiment("T1.R6")

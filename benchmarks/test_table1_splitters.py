@@ -1,0 +1,23 @@
+"""Table 1, rows 1-3: approximate K-splitters benchmarks.
+
+Each benchmark regenerates one row of the paper's results table — the
+parameter sweep, the measured simulated I/O, the row's Θ-bound and the
+sort baseline — and asserts the row's qualitative claims (sublinearity,
+monotonicity, regime switches).  Rendered tables land in
+``benchmarks/out/``.
+"""
+
+
+def test_t1_row1_right_grounded_splitters(run_experiment):
+    """Θ((1 + aK/B)·lg_{M/B}(K/B)); sublinear when aK ≪ N (Thms 1, 5)."""
+    run_experiment("T1.R1")
+
+
+def test_t1_row2_left_grounded_splitters(run_experiment):
+    """Θ((N/B)·lg_{M/B}(N/(bB))) (Thms 2, 5)."""
+    run_experiment("T1.R2")
+
+
+def test_t1_row3_two_sided_splitters(run_experiment):
+    """Θ((1+aK/B)·lg(K/B) + (N/B)·lg(N/(bB))) (Thms 1, 2, 5)."""
+    run_experiment("T1.R3")

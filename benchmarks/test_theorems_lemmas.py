@@ -1,0 +1,49 @@
+"""Theorem 4, Lemmas 5/6, the §3 reduction, the Hu-et-al-[6] building
+block, and the sort substrate — one benchmark per claim."""
+
+
+def test_thm4_multiselect_vs_multipartition(run_experiment):
+    """Theorem 4: Θ((N/B)·lg_{M/B}(K/B)) multi-selection; separation from
+    multi-partition at the bound level, same hardness for large K."""
+    run_experiment("THM4")
+
+
+def test_lem5_precise_partitioning_counting_bound(run_experiment):
+    """Lemma 5: measured multi-partition sits between the exact
+    machine-state counting lower bound and the Aggarwal–Vitter upper."""
+    run_experiment("LEM5")
+
+
+def test_lem6_intermixed_selection_linear(run_experiment):
+    """Lemma 6: L-intermixed selection is O(|D|/B), independent of L."""
+    run_experiment("LEM6")
+
+
+def test_sec3_reduction_to_precise_partitioning(run_experiment):
+    """§3: approximate partitioning + O(N/B) sweep = precise partitioning."""
+    run_experiment("SEC3")
+
+
+def test_hu6_memory_splitters_interface(run_experiment):
+    """Hu et al. [6] substitute: Θ(M) splitters, sizes Θ(N/M), O(N/B)."""
+    run_experiment("HU6")
+
+
+def test_sort_substrate_bound(run_experiment):
+    """External merge sort tracks Θ((N/B)·lg_{M/B}(N/B))."""
+    run_experiment("SORT")
+
+
+def test_cmp_comparison_counts(run_experiment):
+    """The comparison-based model's CPU side, measured per algorithm."""
+    run_experiment("CMP")
+
+
+def test_space_working_disk(run_experiment):
+    """Every algorithm runs in O(N/B) blocks of disk space."""
+    run_experiment("SPACE")
+
+
+def test_seq_access_patterns(run_experiment):
+    """Which of the model's I/Os would be seeks on real storage."""
+    run_experiment("SEQ")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Bulk quantile extraction with a disk-resident rank list.
+
+Computing thousands of quantiles at once (fine-grained CDF sketches,
+per-shard boundary tables, percentile dashboards) is multi-selection with
+a ``K`` that may not fit in memory.  ``multi_select_streamed`` keeps the
+rank list itself on disk and still runs in Theorem 4's complexity —
+here K = 4·M ranks are answered on a machine whose entire memory holds
+only M records.
+
+Run:  python examples/bulk_quantiles.py
+"""
+
+import numpy as np
+
+from repro import Machine, load_input
+from repro.core import multi_select_streamed
+from repro.em import EMFile, composite
+from repro.em.records import make_records
+from repro.workloads import uniform_random
+
+N = 120_000
+M, B = 512, 16          # deliberately tiny memory
+K = 4 * M               # 2048 quantiles — 4x the machine's memory
+
+machine = Machine(memory=M, block=B)
+data = uniform_random(N, seed=33)
+file = load_input(machine, data)
+
+# The K target ranks are staged on disk like any other input.
+ranks = np.unique((np.arange(1, K + 1) * N) // (K + 1))
+ranks_file = EMFile.from_records(machine, make_records(ranks), counted=False)
+
+print(f"N = {N} records; machine M = {M}, B = {B} (memory holds {M} records)")
+print(f"extracting K = {len(ranks)} quantiles — the rank list alone is "
+      f"{len(ranks) / M:.1f}x the machine's memory\n")
+
+with machine.measure() as cost:
+    answers_file = multi_select_streamed(machine, file, ranks_file)
+
+# Verify against ground truth (verification is outside the model).
+answers = answers_file.to_numpy()
+truth = np.sort(composite(data))[ranks - 1]
+assert np.array_equal(composite(answers), truth), "quantiles wrong!"
+
+from repro.bounds import multiselect_io, sort_io  # noqa: E402
+
+scan = N // B
+bound = multiselect_io(N, len(ranks), M, B)
+print(f"simulated I/O: {cost.total:,}  ({cost.total / scan:.1f} scans; "
+      f"Theorem 4 bound value {bound:,.0f}, ratio {cost.total / bound:.1f})")
+print(f"for reference, the sorting bound is {sort_io(N, M, B):,.0f} "
+      "(this implementation's constants favor sorting at laptop scale; "
+      "the point here is K >> M within the memory budget)")
+print(f"memory high-water mark: {machine.memory.peak} / {M} records")
+print(f"all {len(ranks)} quantiles verified ✓")
+
+# A few of the extracted quantiles:
+print("\nsample of the CDF sketch:")
+for q in (0.01, 0.25, 0.50, 0.75, 0.99):
+    i = int(q * (len(ranks) - 1))
+    print(f"  p{100 * q:04.1f}  rank {ranks[i]:>7,}  key {answers['key'][i]:>8,}")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Nearly equi-depth histograms in sublinear I/O (§1 motivation).
+
+The bucket boundaries of an equi-depth histogram are exactly the output
+of approximate K-splitters with ``a = b = N/K``.  Relaxing the bucket
+sizes lets the boundaries be found cheaper — and with the right-grounded
+relaxation (Theorem 1's regime), *sublinearly*: the histogram is built
+from the quantiles of a small prefix, without reading most of the data.
+
+This example builds histograms at several cost levels, reports the I/O
+paid and the rank-estimation error obtained, and demonstrates range
+selectivity estimation.
+
+Run:  python examples/equi_depth_histogram.py
+"""
+
+import numpy as np
+
+from repro import Machine, load_input
+from repro.apps import build_histogram
+from repro.workloads import uniform_random
+
+N, K = 200_000, 64
+machine_shape = dict(memory=4096, block=64)
+
+data = uniform_random(N, seed=7)
+sorted_keys = np.sort(data["key"])
+rng = np.random.default_rng(11)
+probes = rng.choice(sorted_keys, size=300)
+
+
+def error_stats(hist):
+    errs = []
+    for p in probes:
+        true_rank = int(np.searchsorted(sorted_keys, p, side="right"))
+        errs.append(abs(hist.rank_estimate(int(p)) - true_rank))
+    errs = np.array(errs)
+    return errs.mean(), np.percentile(errs, 99)
+
+
+print(f"dataset: {N} records; histogram with K = {K} buckets "
+      f"(ideal bucket = {N // K} elements)")
+print(f"machine: M={machine_shape['memory']} B={machine_shape['block']}; "
+      f"one full scan = {N // machine_shape['block']} I/Os\n")
+
+print(f"{'mode':>22} | {'I/O':>7} | {'% of scan':>9} | "
+      f"{'mean rank err':>13} | {'p99 rank err':>12}")
+print("-" * 78)
+
+configs = [
+    ("exact (slack=0)", dict(slack=0.0)),
+    ("two-sided slack=1", dict(slack=1.0)),
+    ("sample 10% of data", dict(sample_fraction=0.10)),
+    ("sample 1% of data", dict(sample_fraction=0.01)),
+]
+for label, kwargs in configs:
+    machine = Machine(**machine_shape)
+    file = load_input(machine, data)
+    with machine.measure() as cost:
+        hist = build_histogram(machine, file, K, **kwargs)
+    mean_err, p99_err = error_stats(hist)
+    pct = 100 * cost.total / (N // machine.B)
+    print(f"{label:>22} | {cost.total:>7,} | {pct:>8.1f}% | "
+          f"{mean_err:>13.0f} | {p99_err:>12.0f}")
+
+# ----------------------------------------------------------------------
+# Selectivity estimation with the 1%-sample histogram.
+# ----------------------------------------------------------------------
+machine = Machine(**machine_shape)
+file = load_input(machine, data)
+hist = build_histogram(machine, file, K, sample_fraction=0.01)
+
+print("\nrange-selectivity estimates (1%-sample histogram):")
+for lo_q, hi_q in [(0.10, 0.30), (0.45, 0.55), (0.05, 0.90)]:
+    lo_key = int(sorted_keys[int(lo_q * (N - 1))])
+    hi_key = int(sorted_keys[int(hi_q * (N - 1))])
+    true_sel = (
+        np.searchsorted(sorted_keys, hi_key, side="right")
+        - np.searchsorted(sorted_keys, lo_key, side="right")
+    ) / N
+    est = hist.selectivity_estimate(lo_key, hi_key)
+    print(f"  true {true_sel:5.1%}  estimated {est:5.1%}")
+
+print("\ntakeaway: the sampled histogram touches ~1-10% of the blocks")
+print("(Theorem 1's sublinear regime) yet estimates ranks to within a few")
+print("bucket widths on randomly ordered data; the two-sided modes add")
+print("worst-case guarantees at linear-plus cost.")

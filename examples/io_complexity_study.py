@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Reproduce the paper's results table from the experiment harness.
+
+Runs the registered experiments (quick sweeps by default; pass ``--full``
+for the sweeps recorded in EXPERIMENTS.md, a few minutes) and prints each
+claim's measured-vs-bound table plus the shape-check verdicts — the same
+harness the benchmark suite times.
+
+Run:  python examples/io_complexity_study.py [--full] [EXP_ID ...]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import all_experiments, get_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("exp_ids", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument("--full", action="store_true", help="full sweeps")
+    args = parser.parse_args(argv)
+
+    experiments = (
+        [get_experiment(e) for e in args.exp_ids]
+        if args.exp_ids
+        else all_experiments()
+    )
+    verdicts = []
+    for exp in experiments:
+        t0 = time.time()
+        result = exp(quick=not args.full)
+        dt = time.time() - t0
+        print(result.render())
+        print(f"({dt:.1f}s)\n")
+        verdicts.append((exp.exp_id, result.passed))
+
+    print("summary:")
+    for exp_id, ok in verdicts:
+        print(f"  {exp_id:8s} {'PASS' if ok else 'FAIL'}")
+    return 0 if all(ok for _, ok in verdicts) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Robust statistics over disk-resident data.
+
+A contaminated measurement log (heavy-tailed outliers) lives on the
+simulated disk; computing trustworthy summary statistics without sorting
+it is selection-algorithm territory:
+
+* median and percentiles — linear-I/O selection;
+* trimmed mean — two selections + one aggregation scan;
+* top-k outliers — selection + filter;
+* and the cheap-but-probabilistic alternative: Las Vegas randomized
+  splitters building a bucket summary with a verification scan.
+
+Run:  python examples/robust_statistics.py
+"""
+
+import numpy as np
+
+from repro import Machine, load_input
+from repro.alg.randomized import randomized_splitters
+from repro.apps import median, percentiles, top_k, trimmed_mean
+from repro.em.records import make_records
+
+# ----------------------------------------------------------------------
+# A contaminated sensor log: Gaussian-ish readings + 2% wild outliers.
+# ----------------------------------------------------------------------
+N = 150_000
+rng = np.random.default_rng(99)
+readings = rng.normal(10_000, 500, size=N).astype(np.int64)
+outliers = rng.integers(0, N, size=N // 50)
+readings[outliers] = rng.integers(10**6, 10**8, size=len(outliers))
+data = make_records(np.clip(readings, 0, 2**31 - 1))
+
+machine = Machine(memory=4096, block=64)
+file = load_input(machine, data)
+scan = N // machine.B
+print(f"contaminated log: N={N} readings, ~2% wild outliers; "
+      f"one scan = {scan} I/Os\n")
+
+# ----------------------------------------------------------------------
+# Naive mean vs robust statistics.
+# ----------------------------------------------------------------------
+naive_mean = float(data["key"].mean())
+
+with machine.measure() as cost:
+    med = median(machine, file)
+print(f"naive mean    : {naive_mean:>12,.0f}   (wrecked by the outliers)")
+print(f"median        : {med:>12,} ({cost.total} I/Os, "
+      f"{cost.total / scan:.1f} scans)")
+
+with machine.measure() as cost:
+    tmean = trimmed_mean(machine, file, trim=0.05)
+print(f"5% trimmed mean: {tmean:>11,.0f} ({cost.total} I/Os, "
+      f"{cost.total / scan:.1f} scans)")
+
+with machine.measure() as cost:
+    p50, p95, p99 = percentiles(machine, file, [0.5, 0.95, 0.99])
+print(f"p50/p95/p99   : {p50:,} / {p95:,} / {p99:,} "
+      f"({cost.total} I/Os for all three — Theorem 4 shares the scans)")
+
+# ----------------------------------------------------------------------
+# The worst offenders, materialized.
+# ----------------------------------------------------------------------
+with machine.measure() as cost:
+    worst = top_k(machine, file, 10, largest=True)
+keys = np.sort(worst.to_numpy()["key"])[::-1]
+print(f"\ntop-10 outliers ({cost.total} I/Os): {', '.join(f'{k:,}' for k in keys[:5])}, ...")
+worst.free()
+
+# ----------------------------------------------------------------------
+# A bucket summary via Las Vegas sampling (cheap, verified).
+# ----------------------------------------------------------------------
+with machine.measure() as cost:
+    splitters, attempts = randomized_splitters(
+        machine, file, k=8, a=N // 16, b=N // 4, delta=0.05, seed=1
+    )
+print(f"\n8-bucket summary via randomized splitters: {cost.total} I/Os "
+      f"({attempts} attempt(s), output verified by construction)")
+print("bucket boundaries:", ", ".join(f"{int(k):,}" for k in splitters["key"]))
+
+print("\ntakeaway: every robust statistic above cost a small constant number")
+print("of scans — no sort, no index — and each result was verified against")
+print("the problem definition inside the run.")

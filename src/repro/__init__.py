@@ -1,0 +1,57 @@
+"""repro — reproduction of *Finding Approximate Partitions and Splitters in
+External Memory* (SPAA 2014).
+
+The package provides:
+
+* :mod:`repro.em` — an instrumented external-memory machine simulator
+  (block device with exact I/O counting, enforced memory budget);
+* :mod:`repro.alg` — classic EM substrates (external sort, distribution,
+  selection, Aggarwal–Vitter multi-partition);
+* :mod:`repro.core` — the paper's contributions: L-intermixed selection
+  (§4.1), optimal multi-selection (Theorem 4), approximate K-splitters
+  (§5.1), approximate K-partitioning (§5.2), the §3 reduction, and the
+  linear-I/O memory-splitters routine it builds on;
+* :mod:`repro.baselines` — sort-based and pre-paper comparison algorithms;
+* :mod:`repro.bounds` — every Table 1 bound as a formula, plus the
+  counting arguments behind the lower bounds;
+* :mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.experiments`
+  — inputs, validators, and the benchmark harness that regenerates the
+  paper's results table.
+
+Quickstart
+----------
+>>> from repro import Machine, load_input, random_permutation
+>>> from repro.core import two_sided_splitters
+>>> mach = Machine(memory=4096, block=64)
+>>> data = load_input(mach, random_permutation(20_000, seed=1))
+>>> result = two_sided_splitters(mach, data, k=16, a=500, b=3000)
+>>> len(result.splitters)
+15
+"""
+
+from .em import (
+    EMFile,
+    IOCounters,
+    Machine,
+    MemoryBudgetError,
+    composite,
+    make_records,
+    sort_records,
+)
+from .workloads import load_input, random_permutation, uniform_random
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "EMFile",
+    "IOCounters",
+    "MemoryBudgetError",
+    "make_records",
+    "composite",
+    "sort_records",
+    "load_input",
+    "random_permutation",
+    "uniform_random",
+    "__version__",
+]

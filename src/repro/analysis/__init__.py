@@ -1,0 +1,34 @@
+"""Verification, curve fitting, and report rendering."""
+
+from .access import AccessStats, access_stats
+from .fit import RatioStats, fit_constant, ratio_stats, theta_match
+from .report import format_value, render_kv, render_table
+from .trace import phase_breakdown, render_phase_breakdown
+from .verify import (
+    VerificationError,
+    check_multiselect,
+    check_partitioned,
+    check_sorted,
+    check_splitters,
+    induced_partition_sizes,
+)
+
+__all__ = [
+    "AccessStats",
+    "access_stats",
+    "RatioStats",
+    "ratio_stats",
+    "fit_constant",
+    "theta_match",
+    "render_table",
+    "render_kv",
+    "format_value",
+    "phase_breakdown",
+    "render_phase_breakdown",
+    "VerificationError",
+    "check_splitters",
+    "check_partitioned",
+    "check_multiselect",
+    "check_sorted",
+    "induced_partition_sizes",
+]

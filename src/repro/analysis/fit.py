@@ -1,0 +1,70 @@
+"""Constant-factor fits of measured I/O against bound formulas.
+
+A reproduction of an asymptotic result succeeds when the measured cost is
+a *flat multiple* of the predicted Θ-formula across the sweep: the hidden
+constant is allowed, curvature is not.  :func:`ratio_stats` quantifies
+flatness; :func:`fit_constant` extracts the constant by least squares
+through the origin; :func:`theta_match` is the boolean verdict used by
+experiments and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RatioStats", "ratio_stats", "fit_constant", "theta_match"]
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Summary of measured/predicted ratios over a sweep.
+
+    ``spread = max_ratio / min_ratio`` — 1.0 means a perfect Θ-match;
+    experiments typically accept spreads up to ~3 (constants move a bit
+    as the regime shifts within the same Θ-class).
+    """
+
+    min_ratio: float
+    max_ratio: float
+    mean_ratio: float
+    spread: float
+
+    def __str__(self) -> str:
+        return (
+            f"ratio in [{self.min_ratio:.2f}, {self.max_ratio:.2f}] "
+            f"(mean {self.mean_ratio:.2f}, spread {self.spread:.2f}x)"
+        )
+
+
+def ratio_stats(measured, predicted) -> RatioStats:
+    """Per-point ``measured[i] / predicted[i]`` statistics."""
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if m.shape != p.shape or m.ndim != 1 or len(m) == 0:
+        raise ValueError("measured and predicted must be equal-length 1-D")
+    if np.any(p <= 0):
+        raise ValueError("predicted values must be positive")
+    r = m / p
+    return RatioStats(
+        min_ratio=float(r.min()),
+        max_ratio=float(r.max()),
+        mean_ratio=float(r.mean()),
+        spread=float(r.max() / r.min()) if r.min() > 0 else float("inf"),
+    )
+
+
+def fit_constant(measured, predicted) -> float:
+    """Least-squares constant ``c`` minimizing ``||measured - c·predicted||``."""
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    denom = float(np.dot(p, p))
+    if denom == 0:
+        raise ValueError("predicted values are all zero")
+    return float(np.dot(m, p) / denom)
+
+
+def theta_match(measured, predicted, max_spread: float = 3.0) -> bool:
+    """True when the measured series is a flat multiple of the prediction."""
+    return ratio_stats(measured, predicted).spread <= max_spread

@@ -1,0 +1,61 @@
+"""Plain-text tables for the experiment harness.
+
+The paper's evaluation is a results table (Table 1); the harness
+regenerates it as text so ``python -m repro run <exp>`` and the
+benchmark suite print the same rows the paper reports, with measured
+I/O next to the bound formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_kv", "format_value"]
+
+
+def format_value(v) -> str:
+    """Human-friendly cell formatting (floats to 3 significant-ish digits)."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], indent: str = "  ") -> str:
+    """Render aligned key: value lines (for experiment check summaries)."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k, _ in pairs)
+    return "\n".join(
+        f"{indent}{k.ljust(width)} : {format_value(v)}" for k, v in pairs
+    )

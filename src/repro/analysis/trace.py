@@ -1,0 +1,45 @@
+"""Phase-level I/O breakdowns.
+
+The disk tags every I/O with the innermost active phase label (see
+:meth:`repro.em.disk.Disk.phase`); this module turns the per-phase
+counters into readable cost breakdowns — where did a composed algorithm
+actually spend its block transfers?
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..em.disk import IOCounters
+from .report import render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..em.machine import Machine
+
+__all__ = ["phase_breakdown", "render_phase_breakdown"]
+
+
+def phase_breakdown(counters: IOCounters) -> list[tuple[str, int, int, int, float]]:
+    """Rows of ``(phase, reads, writes, total, share)`` sorted by total.
+
+    The empty label (I/Os outside any phase) is rendered as
+    ``"(untagged)"``; ``share`` is the fraction of all I/Os.
+    """
+    grand = counters.total or 1
+    rows = []
+    for label, (r, w) in counters.by_phase.items():
+        rows.append((label or "(untagged)", r, w, r + w, (r + w) / grand))
+    rows.sort(key=lambda row: -row[3])
+    return rows
+
+
+def render_phase_breakdown(source: "IOCounters | Machine", title: str = "I/O by phase") -> str:
+    """Render the breakdown as a table (accepts a Machine or counters)."""
+    counters = source if isinstance(source, IOCounters) else source.snapshot()
+    rows = [
+        (label, r, w, t, f"{share:.1%}")
+        for label, r, w, t, share in phase_breakdown(counters)
+    ]
+    if not rows:
+        return f"{title}: no I/O recorded"
+    return render_table(["phase", "reads", "writes", "total", "share"], rows, title=title)

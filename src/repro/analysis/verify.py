@@ -1,0 +1,136 @@
+"""Output validators for every problem the library solves.
+
+Each checker recomputes ground truth directly from the raw input records
+with numpy (outside the EM model — verification is free) and raises
+:class:`VerificationError` with a precise message on any violation.  The
+experiments and the property-based tests both run through these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..em.records import composite
+from ..alg.partitioned import PartitionedFile
+
+__all__ = [
+    "VerificationError",
+    "induced_partition_sizes",
+    "check_splitters",
+    "check_partitioned",
+    "check_multiselect",
+    "check_sorted",
+]
+
+
+class VerificationError(AssertionError):
+    """An algorithm's output violates its problem definition."""
+
+
+def induced_partition_sizes(data: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Sizes of the partitions ``S ∩ (s_{i-1}, s_i]`` induced on ``data``.
+
+    Uses the composite (key, uid) total order, the library's consistent
+    duplicate-resolution convention.
+    """
+    data_sorted = np.sort(composite(data))
+    sp = np.sort(composite(splitters))
+    idx = np.searchsorted(data_sorted, sp, side="right")
+    bounds = np.concatenate(([0], idx, [len(data_sorted)]))
+    return np.diff(bounds)
+
+
+def check_splitters(
+    data: np.ndarray, splitters: np.ndarray, a: int, b: int, k: int
+) -> np.ndarray:
+    """Validate an approximate K-splitters output; returns induced sizes."""
+    if len(splitters) != k - 1:
+        raise VerificationError(
+            f"expected K-1 = {k - 1} splitters, got {len(splitters)}"
+        )
+    sp = composite(splitters)
+    if len(sp) > 1 and not np.all(np.diff(np.sort(sp)) > 0):
+        raise VerificationError("splitters are not distinct")
+    # Splitters must be elements of S.
+    data_comps = np.sort(composite(data))
+    pos = np.searchsorted(data_comps, np.sort(sp))
+    if np.any(pos >= len(data_comps)) or np.any(
+        data_comps[np.minimum(pos, len(data_comps) - 1)] != np.sort(sp)
+    ):
+        raise VerificationError("some splitter is not an element of S")
+    sizes = induced_partition_sizes(data, splitters)
+    if sizes.min(initial=len(data)) < a:
+        raise VerificationError(
+            f"induced partition of size {sizes.min()} below a = {a}"
+        )
+    if sizes.max(initial=0) > b:
+        raise VerificationError(
+            f"induced partition of size {sizes.max()} above b = {b}"
+        )
+    return sizes
+
+
+def check_partitioned(
+    data: np.ndarray,
+    partitioned: PartitionedFile,
+    a: int,
+    b: int,
+    k: int | None = None,
+) -> list[int]:
+    """Validate an approximate K-partitioning output; returns sizes.
+
+    Checks: partition count (if ``k`` given), sizes within ``[a, b]``,
+    ordering between consecutive non-empty partitions, and that the
+    partitions form a permutation of the input multiset.
+    """
+    parts = partitioned.to_numpy_partitions()
+    if k is not None and len(parts) != k:
+        raise VerificationError(f"expected {k} partitions, got {len(parts)}")
+    sizes = [len(p) for p in parts]
+    for i, s in enumerate(sizes):
+        if not a <= s <= b:
+            raise VerificationError(
+                f"partition {i} has size {s} outside [{a}, {b}]"
+            )
+    prev_max = None
+    for i, p in enumerate(parts):
+        if len(p) == 0:
+            continue
+        comps = composite(p)
+        if prev_max is not None and comps.min() <= prev_max:
+            raise VerificationError(
+                f"partition {i} overlaps its predecessor in the total order"
+            )
+        prev_max = int(comps.max())
+    got = np.sort(np.concatenate([composite(p) for p in parts if len(p)]))
+    want = np.sort(composite(data))
+    if len(got) != len(want) or not np.array_equal(got, want):
+        raise VerificationError("partitions are not a permutation of the input")
+    return sizes
+
+
+def check_multiselect(
+    data: np.ndarray, ranks: np.ndarray, answers: np.ndarray
+) -> None:
+    """Validate multi-selection answers against a full sort of the input."""
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if len(answers) != len(ranks):
+        raise VerificationError("answer count does not match rank count")
+    truth = np.sort(composite(data))
+    got = composite(answers)
+    want = truth[ranks - 1]
+    bad = np.flatnonzero(got != want)
+    if len(bad):
+        i = int(bad[0])
+        raise VerificationError(
+            f"rank {int(ranks[i])}: got composite {int(got[i])}, "
+            f"want {int(want[i])} ({len(bad)} wrong in total)"
+        )
+
+
+def check_sorted(data: np.ndarray, output: np.ndarray) -> None:
+    """Validate that ``output`` is the composite-order sort of ``data``."""
+    want = np.sort(composite(data))
+    got = composite(output)
+    if len(got) != len(want) or not np.array_equal(got, want):
+        raise VerificationError("output is not the sorted permutation of input")

@@ -1,0 +1,18 @@
+"""Downstream applications from the paper's introduction: nearly
+equi-depth histograms and range-sharding for parallel processing."""
+
+from .histogram import EquiDepthHistogram, build_histogram
+from .load_balance import ShardingPlan, plan_shards
+from .order_stats import median, percentile, percentiles, top_k, trimmed_mean
+
+__all__ = [
+    "EquiDepthHistogram",
+    "build_histogram",
+    "ShardingPlan",
+    "plan_shards",
+    "median",
+    "percentile",
+    "percentiles",
+    "trimmed_mean",
+    "top_k",
+]

@@ -1,0 +1,17 @@
+"""Baseline algorithms the paper's contributions are measured against."""
+
+from .multipartition_based import multiselect_via_multipartition
+from .repeated_selection import multiselect_via_repeated_selection
+from .sort_based import (
+    sort_based_multiselect,
+    sort_based_partition,
+    sort_based_splitters,
+)
+
+__all__ = [
+    "multiselect_via_multipartition",
+    "multiselect_via_repeated_selection",
+    "sort_based_multiselect",
+    "sort_based_partition",
+    "sort_based_splitters",
+]

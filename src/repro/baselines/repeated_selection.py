@@ -1,0 +1,36 @@
+"""Naive multi-selection: one independent BFPRT selection per rank.
+
+``O(K·N/B)`` I/Os — linear per rank, so it loses to Theorem 4 as soon as
+``K`` exceeds a small constant.  Included as the "obvious" comparator for
+the Theorem 4 experiment's small-``K`` end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..em.errors import SpecError
+from ..em.file import EMFile
+from ..em.records import RECORD_DTYPE
+from ..alg.selection import select_rank
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..em.machine import Machine
+
+__all__ = ["multiselect_via_repeated_selection"]
+
+
+def multiselect_via_repeated_selection(
+    machine: "Machine", file: EMFile, ranks) -> np.ndarray:
+    """Select each requested rank independently (``O(K·N/B)`` I/Os)."""
+    ranks = np.asarray(ranks, dtype=np.int64)
+    n = len(file)
+    if len(ranks) == 0 or np.any(ranks < 1) or np.any(ranks > n):
+        raise SpecError(f"ranks must be non-empty within [1, {n}]")
+    answers = np.empty(len(ranks), dtype=RECORD_DTYPE)
+    with machine.phase("baseline-repeated-selection"):
+        for i, r in enumerate(ranks):
+            answers[i] = select_rank(machine, file, int(r))
+    return answers

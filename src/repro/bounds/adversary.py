@@ -1,0 +1,116 @@
+"""The Theorem 1 adversary, operational.
+
+The simple case of Theorem 1's proof (§2.1) argues: if an algorithm
+terminates having *seen* fewer than ``aK`` elements, some induced
+partition contains fewer than ``a`` seen elements — and since the unseen
+elements were never compared, an adversary may assign them ranks that
+keep every one of them out of that partition, making its true size
+``< a`` and the output wrong.
+
+:func:`fool_right_grounded` performs that construction concretely: given
+the original records, the set of record indices the algorithm read, and
+the splitters it output, it either
+
+* returns a *fooling reassignment* — new keys for the unseen records
+  (order among seen records untouched, so every comparison the algorithm
+  made still holds) under which the output violates ``a`` — or
+* returns ``None``, a certificate that every partition already holds at
+  least ``a`` seen elements, so no adversary can fool this execution.
+
+The §5.1 right-grounded algorithm is *immune by construction* (each
+partition contains ``a`` elements of the prefix ``S'`` it read); the
+tests verify that, and verify that a lazy strawman algorithm is fooled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..em.records import composite, make_records
+
+__all__ = ["fool_right_grounded"]
+
+
+def fool_right_grounded(
+    records: np.ndarray,
+    seen_indices,
+    splitters: np.ndarray,
+    a: int,
+) -> np.ndarray | None:
+    """Try to fool a right-grounded K-splitters execution.
+
+    Parameters
+    ----------
+    records:
+        The original input records.
+    seen_indices:
+        Indices (into ``records``) of the elements the algorithm read.
+    splitters:
+        The K-1 splitter records the algorithm output.
+    a:
+        The instance's lower bound on partition sizes.
+
+    Returns
+    -------
+    A new record array (same uids, reassigned keys for unseen records)
+    on which the splitters are invalid — or ``None`` when every induced
+    partition contains at least ``a`` seen elements (fooling impossible
+    for this execution).
+    """
+    n = len(records)
+    seen = np.zeros(n, dtype=bool)
+    seen[np.asarray(list(seen_indices), dtype=np.int64)] = True
+    # A comparison-based algorithm can only output elements it has read:
+    # an execution whose splitters include unseen records is invalid.
+    seen_uids = set(records["uid"][seen].tolist())
+    if not set(splitters["uid"].tolist()) <= seen_uids:
+        raise ValueError(
+            "invalid execution: a splitter record was never read"
+        )
+    sp_comps = np.sort(composite(splitters))
+    k = len(sp_comps) + 1
+
+    # Seen elements per induced partition.
+    seen_comps = np.sort(composite(records[seen]))
+    idx = np.searchsorted(seen_comps, sp_comps, side="right")
+    seen_sizes = np.diff(np.concatenate(([0], idx, [len(seen_comps)])))
+
+    deficient = [j for j in range(k) if seen_sizes[j] < a]
+    if not deficient:
+        return None  # certificate: no adversary can fool this run
+
+    target = deficient[0]
+    # Reassign every unseen record a key that lands OUTSIDE partition
+    # `target`.  Spread the key space by (n+1) so fresh keys fit between
+    # the seen ones without disturbing their relative order.
+    scale = n + 1
+    new_keys = records["key"].astype(np.int64) * scale
+    sp_keys = np.sort(splitters["key"].astype(np.int64)) * scale
+
+    if target == k - 1:
+        # Last partition (s_{K-1}, +inf): send unseen *below* s_1 —
+        # they land in partition 0 (or wherever, as long as not beyond
+        # the last splitter).
+        dump_key = sp_keys[0] - 1
+    else:
+        # Send everything beyond the last splitter.
+        dump_key = sp_keys[-1] + 1
+    new_keys[~seen] = dump_key
+
+    fooled = make_records(
+        np.clip(new_keys, -(2**31), 2**31 - 1),
+        uids=records["uid"].copy(),
+        grps=records["grp"].copy(),
+    )
+    # Sanity: the construction really does break the instance.
+    fooled_comps = np.sort(composite(fooled[np.argsort(fooled["uid"])]))
+    # Splitter records keep their (scaled) keys — recompute their comps.
+    sp_uid = splitters["uid"]
+    uid_to_pos = {int(u): i for i, u in enumerate(records["uid"])}
+    sp_new = fooled[[uid_to_pos[int(u)] for u in sp_uid]]
+    sp_new_comps = np.sort(composite(sp_new))
+    idx = np.searchsorted(fooled_comps, sp_new_comps, side="right")
+    sizes = np.diff(np.concatenate(([0], idx, [n])))
+    if sizes.min() >= a:  # pragma: no cover - the construction guarantees this
+        raise AssertionError("adversary construction failed to fool")
+    return fooled

@@ -1,0 +1,160 @@
+"""Every bound of Table 1 (and Theorems 1-6) as an evaluatable formula.
+
+Conventions exactly as the paper's §1: ``lg_x(y) = max(1, log_x(y))``,
+base 2 when omitted; "linear cost" is ``N/B``.  All functions return
+floats — the Θ-constants are unknown, so experiments report the
+*ratio* of measured I/O to these formulas and check that it is flat
+across sweeps (a Θ-match), rather than comparing absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lg",
+    "lg_ratio",
+    "sort_io",
+    "scan_io",
+    "selection_io",
+    "intermixed_io",
+    "multiselect_io",
+    "multipartition_io",
+    "multipartition_lower",
+    "splitters_right_bound",
+    "splitters_left_bound",
+    "splitters_two_sided_bound",
+    "partition_right_lower",
+    "partition_right_upper",
+    "partition_left_bound",
+    "partition_two_sided_lower",
+    "partition_two_sided_upper",
+    "lemma5_condition",
+]
+
+
+def lg(y: float, base: float = 2.0) -> float:
+    """The paper's ``lg_x(y) = max(1, log_x(y))``.
+
+    Defined as 1 for ``y <= 1`` (where the plain log would be ≤ 0 or
+    undefined), matching the convention that every positive cost term
+    contributes at least one "pass".
+    """
+    if base <= 1:
+        raise ValueError("log base must exceed 1")
+    if y <= 1:
+        return 1.0
+    return max(1.0, math.log(y, base))
+
+
+def lg_ratio(y: float, m: int, b: int) -> float:
+    """``lg_{M/B}(y)`` — the model's pass-count function."""
+    base = max(2.0, m / b)
+    return lg(y, base)
+
+
+# ----------------------------------------------------------------------
+# Substrate costs
+# ----------------------------------------------------------------------
+def scan_io(n: int, b: int) -> float:
+    """Linear cost ``N/B``."""
+    return n / b
+
+
+def sort_io(n: int, m: int, b: int) -> float:
+    """``(N/B)·lg_{M/B}(N/B)`` — the sorting bound [1]."""
+    return (n / b) * lg_ratio(n / b, m, b)
+
+
+def selection_io(n: int, b: int) -> float:
+    """Single-rank selection: ``O(N/B)``."""
+    return n / b
+
+
+def intermixed_io(d: int, b: int) -> float:
+    """Lemma 6: L-intermixed selection is ``O(|D|/B)``, independent of L."""
+    return d / b
+
+
+def multiselect_io(n: int, k: int, m: int, b: int) -> float:
+    """Theorem 4: ``Θ((N/B)·lg_{M/B}(K/B))``."""
+    return (n / b) * lg_ratio(k / b, m, b)
+
+
+def multipartition_io(n: int, k: int, m: int, b: int) -> float:
+    """Multi-partition upper bound [1]: ``O((N/B)·lg_{M/B} K)``."""
+    return (n / b) * lg_ratio(k, m, b)
+
+
+def multipartition_lower(n: int, k: int, m: int, b: int) -> float:
+    """Lemma 5: ``Ω((N/B)·lg_{M/B} min{K, N/B})``
+    (valid when :func:`lemma5_condition` holds)."""
+    return (n / b) * lg_ratio(min(k, n / b), m, b)
+
+
+def lemma5_condition(n: int, m: int, b: int) -> bool:
+    """The Theorem 3 / Lemma 5 precondition ``lg N <= B·lg(M/B)``."""
+    return math.log2(max(2, n)) <= b * math.log2(max(2, m / b))
+
+
+# ----------------------------------------------------------------------
+# Table 1 — K-splitters
+# ----------------------------------------------------------------------
+def splitters_right_bound(n: int, k: int, a: int, m: int, b: int) -> float:
+    """Row 1 (Theorems 1, 5): ``Θ((1 + aK/B)·lg_{M/B}(K/B))``.
+
+    Sublinear whenever ``aK ≪ N`` — the headline phenomenon.
+    """
+    return (1 + a * k / b) * lg_ratio(k / b, m, b)
+
+
+def splitters_left_bound(n: int, k: int, bb: int, m: int, b: int) -> float:
+    """Row 2 (Theorems 2, 5): ``Θ((N/B)·lg_{M/B}(N/(bB)))``.
+
+    ``bb`` is the problem's upper size bound ``b`` (renamed to avoid the
+    clash with the block size ``b``).
+    """
+    return (n / b) * lg_ratio(n / (bb * b), m, b)
+
+
+def splitters_two_sided_bound(
+    n: int, k: int, a: int, bb: int, m: int, b: int
+) -> float:
+    """Row 3: ``Θ((1 + aK/B)·lg_{M/B}(K/B) + (N/B)·lg_{M/B}(N/(bB)))``."""
+    return splitters_right_bound(n, k, a, m, b) + splitters_left_bound(
+        n, k, bb, m, b
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1 — K-partitioning
+# ----------------------------------------------------------------------
+def partition_right_lower(n: int, b: int) -> float:
+    """Row 4 lower (§3): ``Ω(N/B)`` — every element must be seen."""
+    return n / b
+
+
+def partition_right_upper(n: int, k: int, a: int, m: int, b: int) -> float:
+    """Row 4 upper (Theorem 6):
+    ``O(N/B + (aK/B)·lg_{M/B} min{K, aK/B})``."""
+    return n / b + (a * k / b) * lg_ratio(min(k, a * k / b), m, b)
+
+
+def partition_left_bound(n: int, k: int, bb: int, m: int, b: int) -> float:
+    """Row 5 (Theorems 3, 6): ``Θ((N/B)·lg_{M/B} min{N/b, N/B})``."""
+    return (n / b) * lg_ratio(min(n / bb, n / b), m, b)
+
+
+def partition_two_sided_lower(n: int, k: int, bb: int, m: int, b: int) -> float:
+    """Row 6 lower: same as the left-grounded bound (K plays no role)."""
+    return partition_left_bound(n, k, bb, m, b)
+
+
+def partition_two_sided_upper(
+    n: int, k: int, a: int, bb: int, m: int, b: int
+) -> float:
+    """Row 6 upper (Theorem 6): ``O((aK/B)·lg_{M/B} min{K, aK/B}
+    + (N/B)·lg_{M/B} min{N/b, N/B})``."""
+    return (a * k / b) * lg_ratio(min(k, a * k / b), m, b) + partition_left_bound(
+        n, k, bb, m, b
+    )

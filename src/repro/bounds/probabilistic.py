@@ -1,0 +1,60 @@
+"""Sampling-size calculus for randomized splitters.
+
+The deterministic algorithms buy *worst-case* bucket-size guarantees
+with the sampling-cascade machinery; the standard practical alternative
+draws a uniform random sample and takes its quantiles, with a
+probabilistic guarantee.  This module does the probability bookkeeping:
+
+Given a uniform sample of size ``s`` from ``N`` elements, the rank of
+the sample's ``q``-quantile concentrates around ``qN`` with deviation
+``O(N·sqrt(log(1/δ)/s))`` (Chernoff/Hoeffding).  To land every one of
+``K`` buckets inside ``[a, b]`` with probability ``≥ 1 − δ``, it
+suffices that the rank error ``ε·N`` satisfies
+``ε ≤ min(N/K − a, b − N/K) / (2N)`` per boundary, union-bounded over
+the ``K − 1`` boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["rank_error_for_sample", "sample_size_for_window"]
+
+
+def rank_error_for_sample(n: int, s: int, delta: float, k: int) -> float:
+    """Additive rank error ``εN`` of all ``K-1`` sample quantiles
+    simultaneously, with failure probability ≤ ``delta``.
+
+    Hoeffding: a single empirical quantile deviates by more than ``ε``
+    (as a fraction) with probability ``≤ 2·exp(-2·s·ε²)``; union bound
+    over ``K-1`` boundaries.
+    """
+    if s < 1 or n < 1:
+        raise ValueError("need n, s >= 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    eps = math.sqrt(math.log(2 * max(1, k - 1) / delta) / (2 * s))
+    return eps * n
+
+
+def sample_size_for_window(
+    n: int, k: int, a: int, b: int, delta: float
+) -> int:
+    """Smallest sample size whose quantiles land every bucket in
+    ``[a, b]`` with probability at least ``1 − delta``.
+
+    The window must have slack on both sides (``a < N/K < b``);
+    perfectly tight windows (``a = b = N/K``) cannot be achieved by
+    sampling and raise ``ValueError``.
+    """
+    per = n / k
+    slack = min(per - a, b - per)
+    if slack <= 0:
+        raise ValueError(
+            "sampling needs slack: require a < N/K < b strictly"
+        )
+    # Need rank error <= slack/2 at every boundary (each bucket is
+    # bounded by two boundaries, each off by at most the rank error).
+    eps = slack / (2 * n)
+    s = math.log(2 * max(1, k - 1) / delta) / (2 * eps * eps)
+    return max(k, int(math.ceil(s)))

@@ -1,0 +1,247 @@
+"""Command-line entry point: ``repro`` (or ``python -m repro``).
+
+Subcommands:
+
+``repro list``
+    List the registered experiments (one per paper claim).
+``repro run [EXP_ID ...] [--full] [--out DIR]``
+    Run experiments and print their measured-vs-bound tables; optionally
+    write each rendered table to ``DIR/<id>.txt``.
+``repro demo``
+    A 30-second tour: quickstart-style run of the headline algorithms.
+``repro bounds --n N --k K --a A --b B [--memory M] [--block B]``
+    Evaluate every Table 1 bound for concrete parameters.
+``repro solve --problem {splitters,partition,multiselect} --n N --k K ...``
+    Run one algorithm on a generated workload, verify the output, and
+    print measured I/O, comparisons, and the phase breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+
+__all__ = ["main"]
+
+
+def _cmd_list(args) -> int:
+    from .experiments import all_experiments
+
+    for exp in all_experiments():
+        print(f"{exp.exp_id:8s} {exp.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import all_experiments, get_experiment
+
+    experiments = (
+        [get_experiment(e) for e in args.exp_ids]
+        if args.exp_ids
+        else all_experiments()
+    )
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    all_ok = True
+    for exp in experiments:
+        t0 = time.time()
+        result = exp(quick=not args.full)
+        rendered = result.render()
+        print(rendered)
+        print(f"({time.time() - t0:.1f}s)\n")
+        if out_dir:
+            (out_dir / f"{exp.exp_id.replace('.', '_')}.txt").write_text(
+                rendered + "\n"
+            )
+        all_ok &= result.passed
+    return 0 if all_ok else 1
+
+
+def _cmd_demo(args) -> int:
+    from .analysis import check_multiselect, check_splitters
+    from .bounds import splitters_right_bound
+    from .core import multi_select, right_grounded_splitters
+    from .em import Machine
+    from .workloads import load_input, random_permutation
+
+    machine = Machine(memory=4096, block=64)
+    n, k, a = 100_000, 64, 32
+    data = random_permutation(n, seed=0)
+    file = load_input(machine, data)
+    print(f"machine M={machine.M} B={machine.B}; input N={n} "
+          f"({file.num_blocks} blocks)")
+
+    with machine.measure() as cost:
+        res = right_grounded_splitters(machine, file, k, a)
+    check_splitters(data, res.splitters, a, n, k)
+    bound = splitters_right_bound(n, k, a, machine.M, machine.B)
+    print(f"\nright-grounded {k}-splitters (a={a}): {cost.total} I/Os "
+          f"(bound {bound:.0f}; one scan = {n // machine.B})")
+    print("  -> sublinear: the splitters were found without reading most "
+          "of the input")
+
+    ranks = np.linspace(1, n, 16).astype(np.int64)
+    with machine.measure() as cost:
+        ans = multi_select(machine, file, ranks)
+    check_multiselect(data, ranks, ans)
+    print(f"\nmulti-selection of {len(ranks)} ranks: {cost.total} I/Os "
+          f"(Theorem 4's linear base case)")
+    print("\nall outputs verified ✓ — see `repro run` for the full "
+          "reproduction tables")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from .bounds.table import render_table1
+
+    print(
+        render_table1(args.n, args.k, args.a, args.b, args.memory, args.block)
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .analysis import (
+        check_multiselect,
+        check_partitioned,
+        check_splitters,
+        render_phase_breakdown,
+    )
+    from .core import approximate_partition, approximate_splitters, multi_select
+    from .em import Machine
+    from .workloads import WORKLOADS, load_input
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; known: "
+              f"{', '.join(sorted(WORKLOADS))}")
+        return 2
+    machine = Machine(memory=args.memory, block=args.block)
+    records = WORKLOADS[args.workload](args.n, seed=args.seed)
+    file = load_input(machine, records)
+    a = args.a if args.a is not None else 0
+    b = args.b if args.b is not None else args.n
+    print(f"machine M={machine.M} B={machine.B}; workload {args.workload} "
+          f"N={args.n} seed={args.seed}")
+
+    if args.trace:
+        machine.disk.start_trace()
+    with machine.measure() as cost:
+        if args.problem == "splitters":
+            result = approximate_splitters(machine, file, args.k, a, b)
+            check_splitters(records, result.splitters, a, b, args.k)
+            outcome = f"{len(result.splitters)} splitters ({result.variant})"
+        elif args.problem == "partition":
+            pf = approximate_partition(machine, file, args.k, a, b)
+            sizes = check_partitioned(records, pf, a, b, args.k)
+            outcome = (
+                f"{args.k} partitions, sizes in "
+                f"[{min(sizes)}, {max(sizes)}]"
+            )
+            pf.free()
+        else:  # multiselect
+            ranks = np.linspace(1, args.n, args.k).astype(np.int64)
+            answers = multi_select(machine, file, ranks)
+            check_multiselect(records, ranks, answers)
+            outcome = f"{args.k} ranks selected"
+
+    print(f"\n{args.problem}: {outcome} — verified ✓")
+    print(f"simulated I/O: {cost.total:,} "
+          f"(one scan = {args.n // machine.B:,}); "
+          f"comparisons: {machine.comparisons:,}")
+    print(f"memory peak: {machine.memory.peak} / {machine.M}\n")
+    print(render_phase_breakdown(cost))
+    if args.trace:
+        from .analysis import access_stats
+
+        s = access_stats(machine.disk.stop_trace())
+        print(
+            f"\naccess pattern: read sequentiality {s.read_sequentiality:.2f} "
+            f"(mean run {s.read_mean_run:.1f} blocks), "
+            f"write sequentiality {s.write_sequentiality:.2f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Finding Approximate Partitions and "
+            "Splitters in External Memory' (SPAA 2014)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments and print tables")
+    run_p.add_argument("exp_ids", nargs="*", help="experiment ids (default: all)")
+    run_p.add_argument("--full", action="store_true", help="full sweeps")
+    run_p.add_argument("--out", help="directory for rendered tables")
+
+    sub.add_parser("demo", help="30-second tour of the headline algorithms")
+
+    bounds_p = sub.add_parser("bounds", help="evaluate Table 1 for parameters")
+    bounds_p.add_argument("--n", type=int, required=True)
+    bounds_p.add_argument("--k", type=int, required=True)
+    bounds_p.add_argument("--a", type=int, required=True)
+    bounds_p.add_argument("--b", type=int, required=True)
+    bounds_p.add_argument("--memory", type=int, default=4096, help="M (records)")
+    bounds_p.add_argument("--block", type=int, default=64, help="B (records)")
+
+    report_p = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report_p.add_argument("--quick", action="store_true", help="quick sweeps")
+    report_p.add_argument("--out", default="EXPERIMENTS.md")
+
+    solve_p = sub.add_parser("solve", help="run one algorithm and verify it")
+    solve_p.add_argument(
+        "--problem",
+        choices=["splitters", "partition", "multiselect"],
+        required=True,
+    )
+    solve_p.add_argument("--n", type=int, required=True)
+    solve_p.add_argument("--k", type=int, required=True)
+    solve_p.add_argument("--a", type=int, default=None)
+    solve_p.add_argument("--b", type=int, default=None)
+    solve_p.add_argument("--workload", default="permutation")
+    solve_p.add_argument("--seed", type=int, default=0)
+    solve_p.add_argument("--memory", type=int, default=4096, help="M (records)")
+    solve_p.add_argument("--block", type=int, default=64, help="B (records)")
+    solve_p.add_argument(
+        "--trace", action="store_true",
+        help="report access-pattern (sequentiality) statistics",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "report":
+        from .experiments.report_all import write_experiments_md
+
+        path, ok = write_experiments_md(args.out, quick=args.quick)
+        print(f"wrote {path} ({'all experiments PASS' if ok else 'FAILURES present'})")
+        return 0 if ok else 1
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's contributions (§4 and §5), plus the §3 reduction.
+
+Public API:
+
+* :func:`intermixed_select` — §4.1 L-intermixed selection (Lemma 6);
+* :func:`multi_select` — §4.2 optimal multi-selection (Theorem 4);
+* :func:`memory_splitters` — the Hu et al. [6] linear-I/O Θ(M)-splitters
+  building block (see DESIGN.md for the substitution notes);
+* :func:`right_grounded_splitters` / :func:`left_grounded_splitters` /
+  :func:`two_sided_splitters` / :func:`approximate_splitters` — §5.1
+  (Theorem 5);
+* :func:`right_grounded_partition` / :func:`left_grounded_partition` /
+  :func:`two_sided_partition` / :func:`approximate_partition` — §5.2
+  (Theorem 6);
+* :func:`precise_partition_via_approx` — the §3 reduction.
+"""
+
+from .intermixed import group_sizes, intermixed_select, max_groups
+from .memory_splitters import (
+    SIZE_LOWER_FACTOR,
+    SIZE_UPPER_FACTOR,
+    default_bucket_count,
+    memory_splitters,
+)
+from .multiselect import multi_select, multi_select_streamed
+from .partitioning import (
+    approximate_partition,
+    left_grounded_partition,
+    right_grounded_partition,
+    two_sided_partition,
+)
+from .reduction import precise_partition_via_approx
+from .spec import (
+    MultiselectResult,
+    ProblemParams,
+    SplitterResult,
+    grounding,
+    validate_params,
+)
+from .splitters import (
+    approximate_splitters,
+    left_grounded_splitters,
+    right_grounded_splitters,
+    two_sided_splitters,
+)
+
+__all__ = [
+    "intermixed_select",
+    "group_sizes",
+    "max_groups",
+    "memory_splitters",
+    "default_bucket_count",
+    "SIZE_LOWER_FACTOR",
+    "SIZE_UPPER_FACTOR",
+    "multi_select",
+    "multi_select_streamed",
+    "approximate_splitters",
+    "right_grounded_splitters",
+    "left_grounded_splitters",
+    "two_sided_splitters",
+    "approximate_partition",
+    "right_grounded_partition",
+    "left_grounded_partition",
+    "two_sided_partition",
+    "precise_partition_via_approx",
+    "ProblemParams",
+    "SplitterResult",
+    "MultiselectResult",
+    "validate_params",
+    "grounding",
+]

@@ -1,0 +1,154 @@
+"""§5.2 — optimal algorithms for approximate K-partitioning.
+
+Same case analysis as the splitters algorithms, with multi-selection
+replaced by exact multi-partition (the partitions must be materialized):
+
+* **Right-grounded** (``b = N``): split off the ``a(K-1)`` smallest
+  elements ``S'`` (one selection + one filter scan, ``O(N/B)``), cut
+  ``S'`` into ``K-1`` partitions of size exactly ``a`` with
+  multi-partition, and let ``S \\ S'`` be the ``K``-th partition (its size
+  ``N - a(K-1) ≥ a``).
+  Cost ``O(N/B + (aK/B)·lg_{M/B} min{K, aK/B})``.
+
+* **Left-grounded** (``a = 0``): with ``K' = ⌈N/b⌉``, multi-partition
+  into ``K'`` near-equal parts (sizes ``⌊N/K'⌋``/``⌈N/K'⌉ ≤ b``) and pad
+  with ``K - K'`` empty partitions.
+  Cost ``O((N/B)·lg_{M/B} min{N/b, N/B})``.
+
+* **Two-sided**: quantile fallback into ``K`` near-equal parts when
+  ``a ≥ N/(2K)`` or ``b ≤ 2N/K``; otherwise split at ``K'`` as in the
+  two-sided splitters algorithm and multi-partition each side evenly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..em.file import EMFile
+from ..em.streams import copy_file
+from ..alg.multipartition import multi_partition
+from ..alg.partitioned import PartitionedFile
+from ..alg.selection import select_rank_fast
+from .spec import validate_params
+from .splitters import _split_at
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..em.machine import Machine
+
+__all__ = [
+    "right_grounded_partition",
+    "left_grounded_partition",
+    "two_sided_partition",
+    "approximate_partition",
+]
+
+
+def approximate_partition(
+    machine: "Machine", file: EMFile, k: int, a: int, b: int
+) -> PartitionedFile:
+    """Dispatch to the right variant by the grounding of ``(a, b)``.
+
+    The degenerate ``K = N`` case (§1.1: "approximate K-partitioning
+    degenerates into sorting") is handled here by sorting and cutting
+    into singletons.
+    """
+    n = len(file)
+    params = validate_params(n, k, a, b)
+    if k == n:
+        with machine.phase("partition-degenerate"):
+            return multi_partition(machine, file, [1] * n)
+    if params.is_right_grounded:
+        return right_grounded_partition(machine, file, k, a)
+    if params.is_left_grounded:
+        return left_grounded_partition(machine, file, k, b)
+    return two_sided_partition(machine, file, k, a, b)
+
+
+def _near_equal_sizes(n: int, parts: int) -> list[int]:
+    """``parts`` sizes of ``⌊n/parts⌋`` or ``⌈n/parts⌉`` summing to ``n``."""
+    base, extra = divmod(n, parts)
+    return [base + 1] * extra + [base] * (parts - extra)
+
+
+def right_grounded_partition(
+    machine: "Machine", file: EMFile, k: int, a: int
+) -> PartitionedFile:
+    """Solve the right-grounded instance (``b = N``)."""
+    n = len(file)
+    validate_params(n, k, a, n)
+    if k == 1 or a == 0:
+        # Single partition, or all size-constraints vacuous: one partition
+        # holds everything (preceded by K-1 empty ones when a = 0).
+        whole = copy_file(machine, file, "rg-whole")
+        sizes = [0] * (k - 1) + [n]
+        return PartitionedFile(machine, [whole], [k - 1], sizes)
+
+    with machine.phase("partition-right"):
+        x = select_rank_fast(machine, file, a * (k - 1))
+        s_prime, rest = _split_at(machine, file, x)
+        try:
+            head = multi_partition(machine, s_prime, [a] * (k - 1))
+        finally:
+            s_prime.free()
+        segments = head.segments + [rest]
+        segment_partition = head.segment_partition + [k - 1]
+        sizes = head.partition_sizes + [len(rest)]
+    return PartitionedFile(machine, segments, segment_partition, sizes)
+
+
+def left_grounded_partition(
+    machine: "Machine", file: EMFile, k: int, b: int
+) -> PartitionedFile:
+    """Solve the left-grounded instance (``a = 0``)."""
+    n = len(file)
+    validate_params(n, k, 0, b)
+    k_prime = -(-n // b)  # ceil(N/b)
+    with machine.phase("partition-left"):
+        sizes = _near_equal_sizes(n, k_prime) + [0] * (k - k_prime)
+        return multi_partition(machine, file, sizes)
+
+
+def two_sided_partition(
+    machine: "Machine", file: EMFile, k: int, a: int, b: int
+) -> PartitionedFile:
+    """Solve the two-sided instance (``a > 0`` and ``b < N``)."""
+    n = len(file)
+    validate_params(n, k, a, b)
+    if k == 1:
+        whole = copy_file(machine, file, "2s-whole")
+        return PartitionedFile(machine, [whole], [0], [n])
+
+    if 2 * a * k >= n or 2 * n >= b * k:
+        with machine.phase("partition-2s-quantile"):
+            return multi_partition(machine, file, _near_equal_sizes(n, k))
+
+    k_prime = (b * k - n) // (b - a)
+    if not 1 <= k_prime <= k - 1:
+        raise AssertionError(
+            f"K'={k_prime} out of [1, K-1] — violates the paper's §5.2 claim"
+        )
+
+    with machine.phase("partition-2s"):
+        x = select_rank_fast(machine, file, a * k_prime)
+        low_file, high_file = _split_at(machine, file, x)
+        k_high = k - k_prime
+        n_high = len(high_file)
+        if not a * k_high <= n_high <= b * k_high:
+            raise AssertionError(
+                f"|S_high|={n_high} outside [a(K-K'), b(K-K')] = "
+                f"[{a * k_high}, {b * k_high}]"
+            )
+        try:
+            low = multi_partition(machine, low_file, [a] * k_prime)
+            high = multi_partition(
+                machine, high_file, _near_equal_sizes(n_high, k_high)
+            )
+        finally:
+            low_file.free()
+            high_file.free()
+        segments = low.segments + high.segments
+        segment_partition = low.segment_partition + [
+            k_prime + p for p in high.segment_partition
+        ]
+        sizes = low.partition_sizes + high.partition_sizes
+    return PartitionedFile(machine, segments, segment_partition, sizes)

@@ -1,0 +1,112 @@
+"""Problem specifications and result types (paper §1 and §1.1).
+
+Centralizes the parameter preconditions the paper states:
+
+* ``a <= N/K`` and ``b >= N/K`` — otherwise neither problem has a solution;
+* ``K <= N`` (the paper treats ``K = N`` as degenerate: partitioning
+  becomes sorting, splitters become "return S");
+* for approximate K-partitioning the paper assumes ``N`` is a multiple of
+  ``K`` only to simplify the exposition — our implementations use
+  floor/ceil splits, which stay within ``[a, b]`` because ``a`` and ``b``
+  are integers with ``a <= N/K <= b`` (see the per-algorithm notes).
+
+Grounding terminology (§1.1): ``a == 0`` is *left-grounded*, ``b >= N`` is
+*right-grounded*, otherwise *two-sided*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..em.disk import IOCounters
+from ..em.errors import SpecError
+
+__all__ = [
+    "ProblemParams",
+    "SplitterResult",
+    "MultiselectResult",
+    "validate_params",
+    "grounding",
+]
+
+
+@dataclass(frozen=True)
+class ProblemParams:
+    """Validated parameters of an approximate partitioning/splitters instance."""
+
+    n: int
+    k: int
+    a: int
+    b: int
+
+    @property
+    def is_left_grounded(self) -> bool:
+        return self.a == 0
+
+    @property
+    def is_right_grounded(self) -> bool:
+        return self.b >= self.n
+
+    @property
+    def is_two_sided(self) -> bool:
+        return not (self.is_left_grounded or self.is_right_grounded)
+
+
+def validate_params(n: int, k: int, a: int, b: int) -> ProblemParams:
+    """Check the §1.1 preconditions; raises :class:`SpecError` on violation."""
+    if n < 1:
+        raise SpecError("input must be non-empty")
+    if not 1 <= k <= n:
+        raise SpecError(f"K={k} must satisfy 1 <= K <= N={n}")
+    if a < 0 or b < 0:
+        raise SpecError("a and b must be non-negative")
+    if a * k > n:
+        raise SpecError(f"no solution: a={a} exceeds N/K = {n}/{k}")
+    if b * k < n:
+        raise SpecError(f"no solution: b={b} is below N/K = {n}/{k}")
+    return ProblemParams(n=n, k=k, a=a, b=b)
+
+
+def grounding(params: ProblemParams) -> str:
+    """Return 'left', 'right', or 'two-sided' per §1.1."""
+    if params.is_left_grounded:
+        return "left"
+    if params.is_right_grounded:
+        return "right"
+    return "two-sided"
+
+
+@dataclass
+class SplitterResult:
+    """Output of an approximate K-splitters algorithm.
+
+    Attributes
+    ----------
+    splitters:
+        Record array of the ``K-1`` splitters, sorted by composite order.
+        All splitters are elements of the input (as the problem requires).
+    params:
+        The validated problem instance.
+    variant:
+        Which algorithm branch produced the result (for experiments):
+        e.g. ``"right-grounded"``, ``"two-sided/quantile-fallback"``.
+    io:
+        I/O counters measured while solving (filled by callers that wrap
+        the call in :meth:`Machine.measure`; optional).
+    """
+
+    splitters: np.ndarray
+    params: ProblemParams
+    variant: str
+    io: IOCounters | None = field(default=None)
+
+
+@dataclass
+class MultiselectResult:
+    """Output of multi-selection: ``records[i]`` has rank ``ranks[i]``."""
+
+    ranks: np.ndarray
+    records: np.ndarray
+    io: IOCounters | None = field(default=None)

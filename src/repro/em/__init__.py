@@ -1,0 +1,75 @@
+"""External-memory machine substrate.
+
+Implements the Aggarwal–Vitter model literally: a :class:`Machine` with
+``M`` records of memory and a block device of ``B``-record blocks, exact
+I/O counting, and an enforcing memory accountant.
+"""
+
+from .disk import Disk, IOCounters
+from .errors import (
+    BadBlockError,
+    BlockSizeError,
+    DiskError,
+    EMError,
+    FileError,
+    LeaseError,
+    MemoryBudgetError,
+    SpecError,
+    StreamError,
+)
+from .file import EMFile
+from .machine import Machine, MemoryAccountant, MemoryLease
+from .records import (
+    KEY_MAX,
+    KEY_MIN,
+    RECORD_DTYPE,
+    UID_BITS,
+    UID_MAX,
+    composite,
+    composite_of,
+    concat_records,
+    empty_records,
+    make_records,
+    sort_records,
+)
+from .streams import (
+    BlockReader,
+    BlockWriter,
+    copy_file,
+    merge_sorted_files,
+    scan_chunks,
+)
+
+__all__ = [
+    "Machine",
+    "MemoryAccountant",
+    "MemoryLease",
+    "Disk",
+    "IOCounters",
+    "EMFile",
+    "BlockReader",
+    "BlockWriter",
+    "scan_chunks",
+    "merge_sorted_files",
+    "copy_file",
+    "RECORD_DTYPE",
+    "KEY_MIN",
+    "KEY_MAX",
+    "UID_BITS",
+    "UID_MAX",
+    "make_records",
+    "empty_records",
+    "composite",
+    "composite_of",
+    "sort_records",
+    "concat_records",
+    "EMError",
+    "MemoryBudgetError",
+    "LeaseError",
+    "DiskError",
+    "BadBlockError",
+    "BlockSizeError",
+    "FileError",
+    "StreamError",
+    "SpecError",
+]

@@ -1,0 +1,61 @@
+"""Error hierarchy for the external-memory machine simulator.
+
+All simulator-level failures derive from :class:`EMError` so callers can
+distinguish model violations (an algorithm asking for more memory than ``M``,
+touching a freed block, ...) from ordinary Python errors in user code.
+"""
+
+from __future__ import annotations
+
+
+class EMError(Exception):
+    """Base class for all external-memory simulator errors."""
+
+
+class MemoryBudgetError(EMError):
+    """Raised when an algorithm tries to lease more than ``M`` records.
+
+    In the Aggarwal–Vitter model the machine has exactly ``M`` words of
+    memory; exceeding it means the algorithm is not a valid EM algorithm.
+    The simulator enforces the budget instead of silently letting Python's
+    unbounded heap hide the violation.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int) -> None:
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"memory lease of {requested} records denied: "
+            f"{in_use}/{capacity} records already in use"
+        )
+
+
+class LeaseError(EMError):
+    """Raised on invalid lease lifecycle operations (double release, ...)."""
+
+
+class DiskError(EMError):
+    """Base class for block-device failures."""
+
+
+class BadBlockError(DiskError):
+    """Raised when reading/writing a block id that was never allocated
+    or has already been freed."""
+
+
+class BlockSizeError(DiskError):
+    """Raised when writing a payload that does not fit in one block."""
+
+
+class FileError(EMError):
+    """Raised on invalid :class:`~repro.em.file.EMFile` operations."""
+
+
+class StreamError(EMError):
+    """Raised on invalid stream usage (read past end, write after close...)."""
+
+
+class SpecError(EMError):
+    """Raised when problem parameters violate the paper's §1.1 preconditions
+    (e.g. ``a > N/K`` or ``b < N/K``, for which no solution exists)."""

@@ -1,0 +1,188 @@
+"""EMFile: a sequence of records stored across disk blocks.
+
+An :class:`EMFile` is the simulator's analogue of a file on disk: ``N``
+records laid out across ``ceil(N/B)`` blocks, all full except possibly the
+last.  Algorithms read and write through block-granular operations that
+charge I/Os; convenience whole-file accessors exist for test/verification
+code and are explicit about whether they count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from .errors import FileError
+from .records import RECORD_DTYPE, concat_records, empty_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["EMFile"]
+
+
+class EMFile:
+    """A handle to a block-aligned sequence of records on the simulated disk.
+
+    Create with :meth:`from_records` (bulk load, optionally uncounted for
+    inputs) or by appending blocks via
+    :class:`~repro.em.streams.BlockWriter`.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._block_ids: list[int] = []
+        self._length = 0
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, machine: "Machine", records: np.ndarray, *, counted: bool = True
+    ) -> "EMFile":
+        """Write ``records`` to a fresh file.
+
+        With ``counted=False`` the writes are free — use this only to stage
+        the *input* of an experiment (the model assumes the input already
+        resides on disk).
+        """
+        if records.dtype != RECORD_DTYPE:
+            raise FileError("EMFile stores record arrays only")
+        f = cls(machine)
+        B = machine.B
+        disk = machine.disk
+
+        def _write_all() -> None:
+            for start in range(0, len(records), B):
+                chunk = records[start : start + B]
+                (bid,) = disk.allocate(1)
+                disk.write(bid, chunk)
+                f._block_ids.append(bid)
+                f._length += len(chunk)
+
+        if counted:
+            _write_all()
+        else:
+            with disk.uncounted():
+                _write_all()
+        return f
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of records in the file."""
+        return self._length
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_ids)
+
+    @property
+    def block_ids(self) -> tuple[int, ...]:
+        return tuple(self._block_ids)
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise FileError("file has been freed")
+
+    # ------------------------------------------------------------------
+    # Block-granular I/O (counted)
+    # ------------------------------------------------------------------
+    def read_block(self, index: int) -> np.ndarray:
+        """Read the ``index``-th block (one read I/O)."""
+        self._check_live()
+        if not 0 <= index < len(self._block_ids):
+            raise FileError(f"block index {index} out of range")
+        return self.machine.disk.read(self._block_ids[index])
+
+    def write_block(self, index: int, data: np.ndarray) -> None:
+        """Overwrite the ``index``-th block (one write I/O).
+
+        Only the last block may be partially full; overwriting an interior
+        block with fewer than ``B`` records would corrupt the layout, so it
+        is rejected.
+        """
+        self._check_live()
+        if not 0 <= index < len(self._block_ids):
+            raise FileError(f"block index {index} out of range")
+        B = self.machine.B
+        is_last = index == len(self._block_ids) - 1
+        if not is_last and len(data) != B:
+            raise FileError("interior blocks must contain exactly B records")
+        if is_last:
+            old_len = self._length - (len(self._block_ids) - 1) * B
+            self._length += len(data) - old_len
+        self.machine.disk.write(self._block_ids[index], data)
+
+    def append_block(self, data: np.ndarray) -> None:
+        """Append a new block of up to ``B`` records (one write I/O).
+
+        The current last block must be full (files are append-only at block
+        granularity; use a :class:`~repro.em.streams.BlockWriter` to buffer
+        record-level appends).
+        """
+        self._check_live()
+        B = self.machine.B
+        if self._block_ids and self._length != len(self._block_ids) * B:
+            raise FileError("cannot append: last block is partially full")
+        if len(data) == 0:
+            return
+        (bid,) = self.machine.disk.allocate(1)
+        try:
+            self.machine.disk.write(bid, data)
+        except BaseException:
+            self.machine.disk.free([bid])  # don't leak on a failed write
+            raise
+        self._block_ids.append(bid)
+        self._length += len(data)
+
+    def iter_blocks(self) -> Iterator[np.ndarray]:
+        """Iterate over blocks front to back (one read I/O per block).
+
+        Note: the caller is responsible for holding a ``B``-record memory
+        lease for the buffer; prefer :class:`~repro.em.streams.BlockReader`
+        which manages the lease automatically.
+        """
+        self._check_live()
+        for i in range(len(self._block_ids)):
+            yield self.read_block(i)
+
+    # ------------------------------------------------------------------
+    # Whole-file access
+    # ------------------------------------------------------------------
+    def to_numpy(self, *, counted: bool = False) -> np.ndarray:
+        """Materialize the whole file as one numpy array.
+
+        By default this is an *uncounted verification* accessor (it does not
+        charge I/Os and does not lease memory): use it in tests and result
+        checking only.  With ``counted=True`` it charges one read per block
+        but still does not lease memory; algorithm code should instead read
+        through streams with explicit leases.
+        """
+        self._check_live()
+        disk = self.machine.disk
+        if counted:
+            parts = [disk.read(bid) for bid in self._block_ids]
+        else:
+            parts = [disk.peek(bid) for bid in self._block_ids]
+        return concat_records(parts) if parts else empty_records(0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def free(self) -> None:
+        """Release the file's blocks back to the disk."""
+        if self._freed:
+            return
+        self.machine.disk.free(self._block_ids)
+        self._block_ids = []
+        self._length = 0
+        self._freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self._freed else f"{self._length} records"
+        return f"EMFile({state}, {len(self._block_ids)} blocks)"

@@ -1,0 +1,258 @@
+"""The external-memory machine: disk + enforced memory budget.
+
+A :class:`Machine` bundles a :class:`~repro.em.disk.Disk` with a
+:class:`MemoryAccountant` that enforces the model's memory capacity ``M``
+(measured in records).  Algorithms *lease* memory for every
+data-proportional working set — block buffers, in-memory arrays, per-group
+control state — and the accountant raises
+:class:`~repro.em.errors.MemoryBudgetError` if the total ever exceeds ``M``.
+
+This keeps the simulation honest: a "linear I/O" algorithm that secretly
+keeps the whole input in a Python list would fail its lease.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .disk import Disk, IOCounters
+from .errors import LeaseError, MemoryBudgetError
+
+__all__ = ["Machine", "MemoryAccountant", "MemoryLease"]
+
+
+class MemoryLease:
+    """A reservation of ``size`` records of machine memory.
+
+    Usable as a context manager; releasing twice is an error.  Leases can
+    also be :meth:`resize`-d, which is convenient for buffers that grow and
+    shrink during a scan.
+    """
+
+    __slots__ = ("_accountant", "_size", "_released", "label")
+
+    def __init__(self, accountant: "MemoryAccountant", size: int, label: str) -> None:
+        self._accountant = accountant
+        self._size = size
+        self._released = False
+        self.label = label
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def resize(self, new_size: int) -> None:
+        """Grow or shrink the lease to ``new_size`` records."""
+        if self._released:
+            raise LeaseError(f"lease {self.label!r} already released")
+        self._accountant._resize(self, new_size)
+
+    def release(self) -> None:
+        """Return the leased records to the pool."""
+        if self._released:
+            raise LeaseError(f"lease {self.label!r} already released")
+        self._accountant._release(self)
+        self._released = True
+
+    def __enter__(self) -> "MemoryLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._released:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else "active"
+        return f"MemoryLease({self.label!r}, size={self._size}, {state})"
+
+
+class MemoryAccountant:
+    """Tracks leased memory against the capacity ``M``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("memory capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._peak = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total memory in records (the model's ``M``)."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Records currently leased."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Records not currently leased."""
+        return self._capacity - self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of leased records."""
+        return self._peak
+
+    def reset_peak(self) -> None:
+        self._peak = self._in_use
+
+    def lease(self, size: int, label: str = "") -> MemoryLease:
+        """Reserve ``size`` records; raises MemoryBudgetError if over ``M``."""
+        if size < 0:
+            raise ValueError("lease size must be >= 0")
+        if self._in_use + size > self._capacity:
+            raise MemoryBudgetError(size, self._in_use, self._capacity)
+        self._in_use += size
+        self._peak = max(self._peak, self._in_use)
+        return MemoryLease(self, size, label)
+
+    def _resize(self, lease: MemoryLease, new_size: int) -> None:
+        if new_size < 0:
+            raise ValueError("lease size must be >= 0")
+        delta = new_size - lease._size
+        if self._in_use + delta > self._capacity:
+            raise MemoryBudgetError(delta, self._in_use, self._capacity)
+        self._in_use += delta
+        self._peak = max(self._peak, self._in_use)
+        lease._size = new_size
+
+    def _release(self, lease: MemoryLease) -> None:
+        self._in_use -= lease._size
+
+
+class Machine:
+    """An external-memory machine with memory ``M`` and block size ``B``.
+
+    Parameters
+    ----------
+    memory:
+        Memory capacity ``M`` in records.  Must be at least ``2 * block``
+        (the model requires ``M >= 2B``).
+    block:
+        Block size ``B`` in records.
+
+    Examples
+    --------
+    >>> from repro.em import Machine
+    >>> mach = Machine(memory=4096, block=64)
+    >>> mach.M, mach.B, mach.fanout
+    (4096, 64, 64)
+    """
+
+    def __init__(self, memory: int, block: int) -> None:
+        if block < 1:
+            raise ValueError("block size B must be >= 1")
+        if memory < 2 * block:
+            raise ValueError("model requires M >= 2B")
+        self._M = int(memory)
+        self._B = int(block)
+        self.disk = Disk(block)
+        self.memory = MemoryAccountant(memory)
+        self._comparisons = 0
+
+    # ------------------------------------------------------------------
+    # Model parameters
+    # ------------------------------------------------------------------
+    @property
+    def M(self) -> int:
+        """Memory capacity in records."""
+        return self._M
+
+    @property
+    def B(self) -> int:
+        """Block size in records."""
+        return self._B
+
+    @property
+    def fanout(self) -> int:
+        """``M / B`` — the model's branching parameter."""
+        return self._M // self._B
+
+    @property
+    def load_limit(self) -> int:
+        """Largest in-memory load an algorithm phase should attempt *now*:
+        the currently unleased memory minus two block buffers (a reader
+        and a writer), floored at one block.
+
+        Adaptive rather than the static ``M - 2B`` so that composed
+        algorithms — e.g. a base case running while its caller holds an
+        answer-writer buffer and a small control lease — automatically
+        shrink their chunk sizes instead of blowing the budget.
+        """
+        return max(self._B, self.memory.available - 2 * self._B)
+
+    # ------------------------------------------------------------------
+    # Accounting conveniences (delegate to the disk)
+    # ------------------------------------------------------------------
+    @property
+    def io(self) -> IOCounters:
+        """Live I/O counters."""
+        return self.disk.counters
+
+    def snapshot(self) -> IOCounters:
+        """Frozen copy of the I/O counters."""
+        return self.disk.snapshot()
+
+    @property
+    def comparisons(self) -> int:
+        """Key comparisons performed since the last counter reset (the
+        model's CPU cost; see :mod:`repro.em.comparisons`)."""
+        return self._comparisons
+
+    def charge_comparisons(self, count: float) -> None:
+        """Add ``count`` comparisons (rounded up) to the CPU counter."""
+        import math
+
+        self._comparisons += int(math.ceil(count))
+
+    def reset_counters(self) -> None:
+        self.disk.reset_counters()
+        self._comparisons = 0
+
+    def phase(self, label: str):
+        """Context manager attributing I/Os to ``label``."""
+        return self.disk.phase(label)
+
+    def uncounted(self):
+        """Context manager suspending I/O counting (setup/verification)."""
+        return self.disk.uncounted()
+
+    @contextmanager
+    def measure(self, label: str = "") -> Iterator[IOCounters]:
+        """Yield a counter object that, after the block exits, holds the
+        I/Os performed inside the ``with`` body.
+
+        >>> mach = Machine(memory=4096, block=64)
+        >>> with mach.measure() as cost:
+        ...     pass
+        >>> cost.total
+        0
+        """
+        before = self.snapshot()
+        result = IOCounters()
+        try:
+            if label:
+                with self.disk.phase(label):
+                    yield result
+            else:
+                yield result
+        finally:
+            delta = self.snapshot() - before
+            result.reads = delta.reads
+            result.writes = delta.writes
+            result.by_phase = delta.by_phase
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(M={self._M}, B={self._B}, "
+            f"io={self.io.reads}r/{self.io.writes}w, "
+            f"mem={self.memory.in_use}/{self._M})"
+        )

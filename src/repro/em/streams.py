@@ -1,0 +1,240 @@
+"""Buffered streams over :class:`~repro.em.file.EMFile` with leased memory.
+
+These are the only building blocks algorithms need for sequential I/O:
+
+* :class:`BlockReader` — forward scan, one leased block buffer;
+* :class:`BlockWriter` — record-granular appends, flushed in full blocks;
+* :func:`scan_chunks` — scan a file in memory-sized chunks (run formation,
+  chunk sampling);
+* :func:`merge_sorted_files` — k-way merge of sorted files using the
+  block-frontier technique (vectorized; still one read per block and one
+  write per output block, exactly as the model counts);
+* :func:`copy_file` — linear-I/O file copy.
+
+Every stream leases its buffer space from the machine's
+:class:`~repro.em.machine.MemoryAccountant`, so the sum of open streams can
+never exceed ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from .comparisons import cmp_search
+from .errors import StreamError
+from .file import EMFile
+from .records import composite, concat_records, empty_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = [
+    "BlockReader",
+    "BlockWriter",
+    "scan_chunks",
+    "merge_sorted_files",
+    "copy_file",
+]
+
+
+class BlockReader:
+    """Sequential block-at-a-time reader holding a ``B``-record lease.
+
+    Iterate to obtain successive blocks; use as a context manager so the
+    lease is released even on error:
+
+    >>> # with BlockReader(f) as reader:
+    >>> #     for block in reader: ...
+    """
+
+    def __init__(self, file: EMFile, label: str = "reader") -> None:
+        self._file = file
+        self._lease = file.machine.memory.lease(file.machine.B, label)
+        self._index = 0
+        self._closed = False
+
+    def __enter__(self) -> "BlockReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while self._index < self._file.num_blocks:
+            if self._closed:
+                raise StreamError("reader is closed")
+            block = self._file.read_block(self._index)
+            self._index += 1
+            yield block
+
+    def close(self) -> None:
+        if not self._closed:
+            self._lease.release()
+            self._closed = True
+
+
+class BlockWriter:
+    """Record-granular append buffer that flushes full blocks to a new file.
+
+    Holds a ``B``-record lease for its buffer.  ``close()`` flushes the
+    trailing partial block and returns the finished :class:`EMFile`.
+    """
+
+    def __init__(self, machine: "Machine", label: str = "writer") -> None:
+        self.machine = machine
+        self._lease = machine.memory.lease(machine.B, label)
+        self._file = EMFile(machine)
+        self._parts: list[np.ndarray] = []
+        self._buffered = 0
+        self._closed = False
+
+    @property
+    def records_written(self) -> int:
+        """Records accepted so far (including still-buffered ones)."""
+        return len(self._file) + self._buffered
+
+    def write(self, records: np.ndarray) -> None:
+        """Append an array of records (any length)."""
+        if self._closed:
+            raise StreamError("writer is closed")
+        if len(records) == 0:
+            return
+        self._parts.append(records)
+        self._buffered += len(records)
+        B = self.machine.B
+        if self._buffered >= B:
+            data = concat_records(self._parts)
+            n_full = (len(data) // B) * B
+            for start in range(0, n_full, B):
+                self._file.append_block(data[start : start + B])
+            rest = data[n_full:]
+            self._parts = [rest] if len(rest) else []
+            self._buffered = len(rest)
+
+    def close(self) -> EMFile:
+        """Flush and return the written file."""
+        if self._closed:
+            raise StreamError("writer already closed")
+        if self._buffered:
+            self._file.append_block(concat_records(self._parts))
+            self._parts = []
+            self._buffered = 0
+        self._lease.release()
+        self._closed = True
+        return self._file
+
+    def abort(self) -> None:
+        """Discard everything written and release resources."""
+        if self._closed:
+            return
+        self._lease.release()
+        self._file.free()
+        self._closed = True
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+def scan_chunks(file: EMFile, chunk_records: int, label: str = "chunk") -> Iterator[np.ndarray]:
+    """Scan ``file`` in chunks of up to ``chunk_records`` records.
+
+    Leases ``chunk_records`` of memory for the duration of the iteration
+    (released when the generator is exhausted or closed).  ``chunk_records``
+    is rounded down to a multiple of ``B`` (at least one block).
+    """
+    machine = file.machine
+    B = machine.B
+    blocks_per_chunk = max(1, chunk_records // B)
+    lease = machine.memory.lease(blocks_per_chunk * B, label)
+    try:
+        nblocks = file.num_blocks
+        for start in range(0, nblocks, blocks_per_chunk):
+            parts = [
+                file.read_block(i)
+                for i in range(start, min(start + blocks_per_chunk, nblocks))
+            ]
+            yield concat_records(parts)
+    finally:
+        lease.release()
+
+
+def merge_sorted_files(machine: "Machine", files: list[EMFile], writer: BlockWriter) -> None:
+    """Merge sorted ``files`` into ``writer`` (k-way, block-frontier method).
+
+    Each input file must be sorted by composite order.  Memory use: one
+    block buffer per input plus a gather workspace of up to ``k*B`` records
+    (leased); the caller's writer holds its own block.  Choose
+    ``k <= (M - 2B) / (2B)`` to be safe.
+
+    I/O cost: exactly one read per input block and one write per output
+    block — the textbook merge cost.
+    """
+    k = len(files)
+    if k == 0:
+        return
+    B = machine.B
+    lease = machine.memory.lease(2 * k * B, "merge-buffers")
+    try:
+        buffers: list[np.ndarray] = []
+        next_block: list[int] = []
+        for f in files:
+            if f.num_blocks:
+                buffers.append(f.read_block(0))
+                next_block.append(1)
+            else:
+                buffers.append(empty_records(0))
+                next_block.append(f.num_blocks)
+        while True:
+            # Refill any empty buffer that still has blocks.
+            for i, f in enumerate(files):
+                if len(buffers[i]) == 0 and next_block[i] < f.num_blocks:
+                    buffers[i] = f.read_block(next_block[i])
+                    next_block[i] += 1
+            active = [i for i in range(k) if len(buffers[i])]
+            if not active:
+                break
+            if len(active) == 1:
+                # Single survivor: stream the rest through unchanged.
+                i = active[0]
+                writer.write(buffers[i])
+                buffers[i] = empty_records(0)
+                f = files[i]
+                while next_block[i] < f.num_blocks:
+                    writer.write(f.read_block(next_block[i]))
+                    next_block[i] += 1
+                break
+            # Emit everything <= the smallest frontier maximum.  Future
+            # blocks of every run are >= that run's buffered maximum, so all
+            # records <= threshold are currently buffered.
+            threshold = min(int(composite(buffers[i][-1:])[0]) for i in active)
+            gathered: list[np.ndarray] = []
+            for i in active:
+                comps = composite(buffers[i])
+                cut = int(np.searchsorted(comps, threshold, side="right"))
+                if cut:
+                    gathered.append(buffers[i][:cut])
+                    buffers[i] = buffers[i][cut:]
+            out = concat_records(gathered)
+            order = np.argsort(composite(out), kind="stable")
+            cmp_search(machine, len(out), len(active))
+            writer.write(out[order])
+    finally:
+        lease.release()
+
+
+def copy_file(machine: "Machine", file: EMFile, label: str = "copy") -> EMFile:
+    """Copy ``file`` into a fresh file in ``O(N/B)`` I/Os."""
+    with BlockWriter(machine, label) as writer:
+        with BlockReader(file, label) as reader:
+            for block in reader:
+                writer.write(block)
+        out = writer.close()
+    return out

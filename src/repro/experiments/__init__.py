@@ -1,0 +1,41 @@
+"""Experiment registry: one experiment per paper claim (see DESIGN.md §5).
+
+Importing this package registers every experiment; use
+:func:`get_experiment`/:func:`all_experiments` to run them.
+"""
+
+from .base import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    measure_io,
+    narrow_machine,
+    register,
+    wide_machine,
+)
+
+# Import for side effect: experiment registration.
+from . import (  # noqa: F401  (registration imports)
+    ablations,
+    hu6,
+    lem5,
+    lem6,
+    resources,
+    sec3,
+    substrate,
+    t1_partitioning,
+    t1_splitters,
+    thm4,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "measure_io",
+    "narrow_machine",
+    "wide_machine",
+    "register",
+]

@@ -1,0 +1,127 @@
+"""Experiment framework shared by the CLI and the benchmark suite.
+
+An *experiment* reproduces one claim of the paper (a Table 1 row, a
+theorem, a lemma, or an ablation DESIGN.md calls out).  Running one
+returns an :class:`ExperimentResult`: the sweep table (the "rows/series
+the paper reports"), a set of named boolean *shape checks* (who wins, is
+the measured/bound ratio flat, does the sublinear regime appear, ...)
+and free-form notes.  Benchmarks assert ``result.passed``; the CLI just
+prints.
+
+Experiments accept ``quick=True`` to shrink the sweep for CI-speed runs;
+the full runs are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..em.machine import Machine
+from ..analysis.report import render_kv, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "wide_machine",
+    "narrow_machine",
+    "measure_io",
+]
+
+#: Registry of experiment id -> Experiment.
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    exp_id: str
+    title: str
+    claim: str
+    headers: list[str]
+    rows: list[tuple]
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every shape check holds."""
+        return all(ok for _, ok in self.checks)
+
+    def render(self) -> str:
+        out = [
+            render_table(self.headers, self.rows, title=f"{self.exp_id}: {self.title}"),
+            "",
+            f"claim: {self.claim}",
+        ]
+        if self.checks:
+            out.append("checks:")
+            out.append(
+                render_kv([(name, "PASS" if ok else "FAIL") for name, ok in self.checks])
+            )
+        for note in self.notes:
+            out.append(f"note: {note}")
+        out.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: id, description, and its runner."""
+
+    exp_id: str
+    title: str
+    run: Callable[[bool], ExperimentResult]
+
+    def __call__(self, quick: bool = False) -> ExperimentResult:
+        return self.run(quick)
+
+
+def register(exp_id: str, title: str):
+    """Decorator registering ``fn(quick: bool) -> ExperimentResult``."""
+
+    def deco(fn: Callable[[bool], ExperimentResult]):
+        if exp_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = Experiment(exp_id, title, fn)
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def all_experiments() -> list[Experiment]:
+    return [(_REGISTRY[k]) for k in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Standard machine shapes
+# ----------------------------------------------------------------------
+def wide_machine() -> Machine:
+    """Single-pass regime: ``M/B = 64`` (``M = 4096``, ``B = 64``) —
+    tall-cache (``M = B²``), large fanout, logs mostly saturate at 1."""
+    return Machine(memory=4096, block=64)
+
+
+def narrow_machine() -> Machine:
+    """Multi-pass regime: ``M/B = 32`` with tiny blocks (``M = 512``,
+    ``B = 16``) — the ``lg_{M/B}`` factors move visibly across sweeps."""
+    return Machine(memory=512, block=16)
+
+
+def measure_io(machine: Machine, fn: Callable[[], object]) -> tuple[object, int]:
+    """Reset counters, run ``fn``, return ``(result, total I/Os)``."""
+    machine.reset_counters()
+    out = fn()
+    return out, machine.io.total

@@ -1,0 +1,136 @@
+"""§3 reduction: precise partitioning from approximate partitioning.
+
+The left-grounded partitioning lower bound rests on the reduction
+"approximate K-partitioning (sizes ≤ b) + O(N/B) sweep = precise
+(N/b)-partitioning".  We run the reduction end to end and check its two
+quantitative ingredients:
+
+* the sweep's own cost is ``O(N/B)`` — flat per-block across ``b``;
+* the reduction's total cost tracks the precise-(N/b)-partitioning
+  bound, i.e. approximate partitioning really is as hard as precise
+  partitioning at granularity ``b`` (Theorem 3's message).
+
+The sweep is exercised with both our real left-grounded solver and a
+deliberately *unbalanced* approximate solver (all partitions as uneven
+as legality allows) to show the residue-buffer argument does not depend
+on balance.
+"""
+
+from __future__ import annotations
+
+from ..analysis.fit import ratio_stats
+from ..analysis.verify import check_partitioned
+from ..alg.multipartition import multi_partition
+from ..bounds.formulas import partition_left_bound, scan_io
+from ..core.reduction import precise_partition_via_approx
+from ..em.errors import SpecError
+from ..workloads.generators import load_input, random_permutation
+from .base import ExperimentResult, measure_io, register, wide_machine
+
+__all__ = []
+
+
+def _unbalanced_solver(machine, file, k, b):
+    """A legal but maximally uneven approximate partitioner: alternating
+    full-b and tiny partitions (sizes ≤ b, left-grounded)."""
+    n = len(file)
+    sizes = []
+    remaining = n
+    while remaining > 0:
+        take = min(b, remaining)
+        sizes.append(take)
+        remaining -= take
+        if remaining > 0:
+            small = min(max(1, b // 8), remaining)
+            sizes.append(small)
+            remaining -= small
+    return multi_partition(machine, file, sizes)
+
+
+@register("SEC3", "reduction: approx partitioning + O(N/B) sweep = precise partitioning")
+def sec3(quick: bool = False) -> ExperimentResult:
+    n = 24_576 if quick else 98_304
+    records = random_permutation(n, seed=50)
+    # The last point has 2b > M, exercising the disk-resident residue path.
+    sweep_b = [n // 96, n // 6] if quick else [n // 384, n // 96, n // 24, n // 6]
+
+    headers = [
+        "solver", "b", "residue", "total io", "sweep io",
+        "sweep io/(N/B)", "bound", "io/bound",
+    ]
+    rows, total = [], []
+    mem_sweep, ext_sweep = [], []
+    for solver_name, solver in [("ours", None), ("unbalanced", _unbalanced_solver)]:
+        for bb in sweep_b:
+            mach = wide_machine()
+            f = load_input(mach, records)
+            pf, cost = measure_io(
+                mach,
+                lambda: precise_partition_via_approx(
+                    mach, f, bb, approx_solver=solver
+                ),
+            )
+            check_partitioned(records, pf, bb, bb, n // bb)
+            pf.free()
+            sweep_io = sum(
+                r + w
+                for label, (r, w) in mach.io.by_phase.items()
+                if label == "reduction-sweep"
+            )
+            per_block = sweep_io / scan_io(n, mach.B)
+            in_memory = 2 * bb + 3 * mach.B <= mach.M
+            (mem_sweep if in_memory else ext_sweep).append(per_block)
+            bound = partition_left_bound(n, n // bb, bb, mach.M, mach.B)
+            rows.append(
+                (
+                    solver_name, bb, "memory" if in_memory else "disk",
+                    cost, sweep_io, per_block, bound, cost / bound,
+                )
+            )
+            total.append((cost, bound, in_memory))
+
+    # Judge Θ-flatness per residue regime: the disk-resident path has a
+    # legitimately larger (but still flat) constant.
+    mem_pts = [(c, b) for c, b, m in total if m]
+    disk_pts = [(c, b) for c, b, m in total if not m]
+    mem_stats = ratio_stats([c for c, _ in mem_pts], [b for _, b in mem_pts])
+    checks = [
+        (
+            "memory-residue sweep <= 4 block-passes",
+            bool(mem_sweep) and max(mem_sweep) <= 4.0,
+        ),
+        (
+            "disk-residue sweep still O(N/B) (<= 25 block-passes; each of "
+            "the N/b rounds moves <= 2b records a constant number of times)",
+            not ext_sweep or max(ext_sweep) <= 25.0,
+        ),
+        (
+            "memory-regime totals track the bound (spread <= 4)",
+            mem_stats.spread <= 4.0,
+        ),
+        ("output partitions exactly b (validated)", True),
+    ]
+    if disk_pts:
+        disk_stats = ratio_stats(
+            [c for c, _ in disk_pts], [b for _, b in disk_pts]
+        )
+        checks.append(
+            (
+                "disk-regime totals track the bound (spread <= 4)",
+                disk_stats.spread <= 4.0,
+            )
+        )
+    stats = mem_stats
+    return ExperimentResult(
+        exp_id="SEC3",
+        title="§3 reduction to precise partitioning",
+        claim=(
+            "any approximate K-partitioning solver with sizes ≤ b yields "
+            "precise (N/b)-partitioning with O(N/B) extra I/Os — hence "
+            "Theorem 3's lower bound"
+        ),
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[f"total-cost ratio: {stats}; N = {n}, wide machine"],
+    )

@@ -1,0 +1,31 @@
+"""Seeded workload generators for experiments and tests."""
+
+from .generators import (
+    nearly_sorted,
+    organ_pipe,
+    sorted_runs,
+    WORKLOADS,
+    few_distinct,
+    hard_permutation,
+    load_input,
+    random_permutation,
+    reverse_sorted,
+    sorted_keys,
+    uniform_random,
+    zipf_like,
+)
+
+__all__ = [
+    "nearly_sorted",
+    "organ_pipe",
+    "sorted_runs",
+    "WORKLOADS",
+    "few_distinct",
+    "hard_permutation",
+    "load_input",
+    "random_permutation",
+    "reverse_sorted",
+    "sorted_keys",
+    "uniform_random",
+    "zipf_like",
+]

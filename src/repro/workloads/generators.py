@@ -1,0 +1,168 @@
+"""Input workload generators.
+
+All generators return record arrays (see :mod:`repro.em.records`) with
+unique uids ``0..n-1``, and every generator takes a ``seed`` so experiments
+are reproducible bit for bit.  :func:`load_input` stages a workload onto a
+machine's disk without charging I/Os (the model assumes the input already
+resides on disk in ``N/B`` blocks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..em.file import EMFile
+from ..em.records import KEY_MAX, make_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..em.machine import Machine
+
+__all__ = [
+    "uniform_random",
+    "random_permutation",
+    "sorted_keys",
+    "reverse_sorted",
+    "few_distinct",
+    "zipf_like",
+    "nearly_sorted",
+    "organ_pipe",
+    "sorted_runs",
+    "hard_permutation",
+    "load_input",
+    "WORKLOADS",
+]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_permutation(n: int, seed: int = 0) -> np.ndarray:
+    """Distinct keys ``0..n-1`` in uniformly random order."""
+    keys = _rng(seed).permutation(n)
+    return make_records(keys)
+
+
+def uniform_random(n: int, seed: int = 0, key_range: int | None = None) -> np.ndarray:
+    """Keys drawn uniformly from ``[0, key_range)`` (duplicates possible).
+
+    ``key_range`` defaults to ``4n`` (sparse enough for few collisions,
+    dense enough to exercise tie-breaking occasionally).
+    """
+    if key_range is None:
+        key_range = max(1, 4 * n)
+    key_range = min(key_range, KEY_MAX)
+    keys = _rng(seed).integers(0, key_range, size=n)
+    return make_records(keys)
+
+
+def sorted_keys(n: int, seed: int = 0) -> np.ndarray:
+    """Already sorted distinct keys (best case for scan-heavy stages)."""
+    return make_records(np.arange(n))
+
+
+def reverse_sorted(n: int, seed: int = 0) -> np.ndarray:
+    """Reverse-sorted distinct keys."""
+    return make_records(np.arange(n)[::-1].copy())
+
+
+def few_distinct(n: int, seed: int = 0, n_distinct: int = 8) -> np.ndarray:
+    """Heavy duplication: only ``n_distinct`` distinct keys.
+
+    Stresses the uid tie-breaking path of every algorithm.
+    """
+    keys = _rng(seed).integers(0, max(1, n_distinct), size=n)
+    return make_records(keys)
+
+
+def zipf_like(n: int, seed: int = 0, alpha: float = 1.3) -> np.ndarray:
+    """Skewed duplicate distribution (Zipf-ish), clipped to the key range."""
+    rng = _rng(seed)
+    keys = np.minimum(rng.zipf(alpha, size=n), KEY_MAX).astype(np.int64)
+    return make_records(keys)
+
+
+def nearly_sorted(n: int, seed: int = 0, swap_fraction: float = 0.05) -> np.ndarray:
+    """Sorted keys with a fraction of random adjacent-ish swaps.
+
+    Models logs that arrive almost in order; exercises the presortedness
+    (in)sensitivity of the comparison-based algorithms.
+    """
+    rng = _rng(seed)
+    keys = np.arange(n)
+    n_swaps = int(swap_fraction * n)
+    if n_swaps and n > 1:
+        # Sequential swaps: overlapping positions compose instead of
+        # clobbering, so the result stays a permutation.
+        for i in rng.integers(0, n - 1, size=n_swaps):
+            keys[i], keys[i + 1] = keys[i + 1], keys[i]
+    return make_records(keys)
+
+
+def organ_pipe(n: int, seed: int = 0) -> np.ndarray:
+    """Keys ascending then descending (0,1,...,m,...,1,0 shape).
+
+    A classic adversarial layout for range-partitioning heuristics:
+    every key value occurs twice, mirrored across the file.
+    """
+    half = (n + 1) // 2
+    up = np.arange(half)
+    down = np.arange(n - half)[::-1]
+    return make_records(np.concatenate((up, down)))
+
+
+def sorted_runs(n: int, seed: int = 0, n_runs: int = 16) -> np.ndarray:
+    """Concatenation of ``n_runs`` sorted runs over interleaved ranges.
+
+    The natural input shape after partial processing; each run is sorted
+    but the runs interleave globally, so no scan-level shortcut exists.
+    """
+    rng = _rng(seed)
+    keys = rng.permutation(n)
+    bounds = np.linspace(0, n, max(1, n_runs) + 1).astype(int)
+    parts = [np.sort(keys[lo:hi]) for lo, hi in zip(bounds, bounds[1:])]
+    return make_records(np.concatenate(parts) if parts else keys)
+
+
+def hard_permutation(n: int, block: int, seed: int = 0) -> np.ndarray:
+    """A member of the paper's hard family ``Π_hard`` (§2.1).
+
+    ``S_i`` — the set of the ``i``-th element of every input block — must
+    satisfy: every element of ``S_i`` is smaller than every element of
+    ``S_j`` for ``i < j``.  We realize this by giving the record at offset
+    ``i`` of each block a key in the ``i``-th stratum of the key space,
+    with a random permutation inside every stratum.
+
+    ``n`` must be a multiple of ``block``.
+    """
+    if n % block != 0:
+        raise ValueError("n must be a multiple of the block size")
+    rng = _rng(seed)
+    n_blocks = n // block
+    keys = np.empty(n, dtype=np.int64)
+    for i in range(block):
+        stratum = i * n_blocks + rng.permutation(n_blocks)
+        keys[i::block] = stratum
+    return make_records(keys)
+
+
+#: Registry of named workloads usable from the CLI / experiments:
+#: each maps a name to ``fn(n, seed) -> records``.
+WORKLOADS = {
+    "permutation": random_permutation,
+    "uniform": uniform_random,
+    "sorted": sorted_keys,
+    "reverse": reverse_sorted,
+    "few-distinct": few_distinct,
+    "zipf": zipf_like,
+    "nearly-sorted": nearly_sorted,
+    "organ-pipe": organ_pipe,
+    "sorted-runs": sorted_runs,
+}
+
+
+def load_input(machine: "Machine", records: np.ndarray) -> EMFile:
+    """Stage ``records`` on the machine's disk without charging I/Os."""
+    return EMFile.from_records(machine, records, counted=False)

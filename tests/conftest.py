@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.em import Machine, composite, make_records
+from repro.workloads import load_input
+
+# Derandomize hypothesis so the suite is bit-for-bit reproducible (the
+# same policy the experiments follow with their fixed seeds).
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A tiny machine (M=256, B=8) for fast exhaustive-ish tests."""
+    return Machine(memory=256, block=8)
+
+
+@pytest.fixture
+def wide_machine() -> Machine:
+    """The experiments' tall-cache machine (M=4096, B=64)."""
+    return Machine(memory=4096, block=64)
+
+
+@pytest.fixture
+def narrow_machine() -> Machine:
+    """The experiments' multi-pass machine (M=512, B=16)."""
+    return Machine(memory=512, block=16)
+
+
+def records_from_keys(keys, grps=0) -> np.ndarray:
+    """Records with sequential uids from a plain key list."""
+    return make_records(np.asarray(keys, dtype=np.int64), grps=grps)
+
+
+def staged(machine: Machine, keys, grps=0):
+    """Stage records with the given keys on the machine (uncounted)."""
+    recs = records_from_keys(keys, grps)
+    return recs, load_input(machine, recs)
+
+
+def sorted_composites(records) -> np.ndarray:
+    return np.sort(composite(records))

@@ -1,0 +1,267 @@
+"""Tests for the application layer (histograms, load balancing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_histogram, plan_shards
+from repro.em import Machine, SpecError
+from repro.workloads import load_input, uniform_random, zipf_like
+
+
+class TestHistogram:
+    def _build(self, n=8000, k=16, slack=0.0, seed=100, gen=uniform_random):
+        mach = Machine(memory=4096, block=64)
+        recs = gen(n, seed=seed)
+        f = load_input(mach, recs)
+        hist = build_histogram(mach, f, k, slack=slack)
+        return mach, recs, hist
+
+    def test_exact_histogram_bucket_count(self):
+        _, _, hist = self._build()
+        assert hist.num_buckets == 16
+
+    def test_rank_bounds_contain_truth(self):
+        _, recs, hist = self._build(slack=0.25)
+        keys = np.sort(recs["key"])
+        for probe in [keys[0], keys[len(keys) // 3], keys[-1], -1, 10**7]:
+            true_rank = int(np.searchsorted(keys, probe, side="right"))
+            lo, hi = hist.rank_bounds(int(probe))
+            # Duplicate keys at bucket boundaries can smear the bucket
+            # assignment by one bucket width.
+            assert lo - hist.b <= true_rank <= hi + hist.b
+
+    def test_rank_estimate_within_error(self):
+        _, recs, hist = self._build(slack=0.0)
+        keys = np.sort(recs["key"])
+        err = hist.max_rank_error() + hist.b  # duplicate-key smear
+        rng = np.random.default_rng(5)
+        for probe in rng.choice(keys, size=20):
+            true_rank = int(np.searchsorted(keys, probe, side="right"))
+            assert abs(hist.rank_estimate(int(probe)) - true_rank) <= err
+
+    def test_selectivity_bounds(self):
+        _, recs, hist = self._build(slack=0.25)
+        keys = np.sort(recs["key"])
+        lo_key, hi_key = int(keys[1000]), int(keys[5000])
+        true_sel = (5000 - 1000) / len(keys)
+        s_lo, s_hi = hist.selectivity_bounds(lo_key, hi_key)
+        slack_frac = 2 * hist.b / hist.n
+        assert s_lo - slack_frac <= true_sel <= s_hi + slack_frac
+
+    def test_selectivity_rejects_empty_range(self):
+        _, _, hist = self._build()
+        with pytest.raises(SpecError):
+            hist.selectivity_bounds(10, 5)
+
+    def test_skewed_data(self):
+        _, recs, hist = self._build(gen=zipf_like, slack=0.5)
+        assert hist.num_buckets == 16
+
+    @given(slack=st.floats(0.0, 2.0), k=st.integers(2, 64))
+    @settings(max_examples=10, deadline=None)
+    def test_histogram_always_valid(self, slack, k):
+        mach = Machine(memory=4096, block=64)
+        recs = uniform_random(4000, seed=3)
+        f = load_input(mach, recs)
+        hist = build_histogram(mach, f, k, slack=slack)
+        assert hist.num_buckets == k
+        assert 0 <= hist.a <= 4000 / k <= hist.b
+
+    def test_sublinear_sampling_mode(self):
+        mach = Machine(memory=4096, block=64)
+        n = 100_000
+        f = load_input(mach, uniform_random(n, seed=4))
+        mach.reset_counters()
+        build_histogram(mach, f, 32, sample_fraction=0.05)
+        assert mach.io.total < n // 64  # strictly below one scan
+
+    def test_sampling_mode_nominal_accuracy(self):
+        # On a randomly ordered input the prefix is a uniform sample, so
+        # the nominal rank estimates land within a few bucket widths.
+        mach = Machine(memory=4096, block=64)
+        n, k = 100_000, 32
+        recs = uniform_random(n, seed=12)
+        f = load_input(mach, recs)
+        hist = build_histogram(mach, f, k, sample_fraction=0.1)
+        keys = np.sort(recs["key"])
+        rng = np.random.default_rng(13)
+        errs = []
+        for p in rng.choice(keys, size=100):
+            true_rank = int(np.searchsorted(keys, p, side="right"))
+            errs.append(abs(hist.rank_estimate(int(p)) - true_rank))
+        assert np.percentile(errs, 90) <= 3 * n / k
+
+    def test_selectivity_estimate(self):
+        mach = Machine(memory=4096, block=64)
+        n = 50_000
+        recs = uniform_random(n, seed=14)
+        f = load_input(mach, recs)
+        hist = build_histogram(mach, f, 64, slack=0.0)
+        keys = np.sort(recs["key"])
+        lo, hi = int(keys[n // 5]), int(keys[3 * n // 5])
+        est = hist.selectivity_estimate(lo, hi)
+        assert abs(est - 0.4) <= 0.1
+
+    def test_invalid_params(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, uniform_random(100, seed=5))
+        with pytest.raises(SpecError):
+            build_histogram(mach, f, 0)
+        with pytest.raises(SpecError):
+            build_histogram(mach, f, 4, slack=-0.1)
+        with pytest.raises(SpecError):
+            build_histogram(mach, f, 4, sample_fraction=0.0)
+        with pytest.raises(SpecError):
+            build_histogram(mach, f, 4, sample_fraction=1.5)
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        mach = Machine(memory=4096, block=64)
+        recs = uniform_random(8000, seed=6)
+        f = load_input(mach, recs)
+        plan = plan_shards(mach, f, 8, slack=0.0)
+        assert plan.num_workers == 8
+        assert plan.imbalance == pytest.approx(1.0)
+        assert plan.utilization == pytest.approx(1.0)
+        plan.free()
+
+    def test_slack_respected(self):
+        mach = Machine(memory=4096, block=64)
+        n, k = 8000, 8
+        recs = uniform_random(n, seed=7)
+        f = load_input(mach, recs)
+        plan = plan_shards(mach, f, k, slack=0.5)
+        per = n / k
+        assert all(0.5 * per <= s <= 1.5 * per + 1 for s in plan.shard_sizes)
+        assert plan.imbalance <= 1.5 + 1e-9
+        plan.free()
+
+    def test_slack_saves_io(self):
+        # Partition-side savings need coarse slack (b a multiple of N/K,
+        # i.e. the left-grounded regime) and a multi-pass machine — the
+        # Table 1 row 5 bound lg min{N/b, N/B} vs the exact lg K.
+        n, k = 65_536, 512
+        costs = {}
+        for slack in (0.0, 7.0):
+            mach = Machine(memory=512, block=16)
+            f = load_input(mach, uniform_random(n, seed=8))
+            plan = plan_shards(mach, f, k, slack=slack)
+            costs[slack] = plan.io_cost
+            plan.free()
+        assert costs[7.0] < 0.92 * costs[0.0]
+
+    def test_shards_are_range_disjoint(self):
+        mach = Machine(memory=4096, block=64)
+        recs = uniform_random(4000, seed=9)
+        f = load_input(mach, recs)
+        plan = plan_shards(mach, f, 4, slack=0.25)
+        parts = plan.partitioned.to_numpy_partitions()
+        prev_max = None
+        for p in parts:
+            if not len(p):
+                continue
+            if prev_max is not None:
+                assert p["key"].min() >= prev_max  # keys may tie at edges
+            prev_max = p["key"].max()
+
+    def test_invalid_workers(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, uniform_random(100, seed=10))
+        with pytest.raises(SpecError):
+            plan_shards(mach, f, 0)
+        with pytest.raises(SpecError):
+            plan_shards(mach, f, 101)
+
+
+class TestOrderStats:
+    def _setup(self, n=10_000, seed=20):
+        from repro.workloads import load_input, random_permutation
+
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(n, seed=seed)
+        return mach, recs, load_input(mach, recs)
+
+    def test_median_and_percentiles(self):
+        from repro.apps import median, percentile, percentiles
+
+        mach, recs, f = self._setup()
+        keys = np.sort(recs["key"])
+        assert median(mach, f) == keys[4999]
+        assert percentile(mach, f, 0.25) == keys[2499]
+        got = percentiles(mach, f, [0.1, 0.5, 0.9])
+        assert got == [keys[999], keys[4999], keys[8999]]
+
+    def test_percentile_edges(self):
+        from repro.apps import percentile
+
+        mach, recs, f = self._setup(n=1000)
+        keys = np.sort(recs["key"])
+        assert percentile(mach, f, 0.0) == keys[0]
+        assert percentile(mach, f, 1.0) == keys[-1]
+
+    def test_trimmed_mean_matches_numpy(self):
+        from repro.apps import trimmed_mean
+
+        mach, recs, f = self._setup()
+        keys = np.sort(recs["key"])
+        lo = int(np.floor(0.1 * len(keys)))
+        expected = keys[lo : len(keys) - lo].mean()
+        got = trimmed_mean(mach, f, trim=0.1)
+        assert got == pytest.approx(expected)
+
+    def test_trimmed_mean_zero_trim_is_mean(self):
+        from repro.apps import trimmed_mean
+
+        mach, recs, f = self._setup(n=2000)
+        assert trimmed_mean(mach, f, trim=0.0) == pytest.approx(
+            recs["key"].mean()
+        )
+
+    def test_trimmed_mean_linear_io(self):
+        from repro.apps import trimmed_mean
+
+        mach, recs, f = self._setup(n=50_000)
+        mach.reset_counters()
+        trimmed_mean(mach, f, trim=0.2)
+        assert mach.io.total <= 10 * (50_000 // 64)
+
+    def test_top_k_smallest_and_largest(self):
+        from repro.apps import top_k
+
+        mach, recs, f = self._setup(n=5000)
+        keys = np.sort(recs["key"])
+        small = top_k(mach, f, 100)
+        assert np.array_equal(np.sort(small.to_numpy()["key"]), keys[:100])
+        small.free()
+        large = top_k(mach, f, 100, largest=True)
+        assert np.array_equal(np.sort(large.to_numpy()["key"]), keys[-100:])
+        large.free()
+
+    def test_validation(self):
+        from repro.apps import percentile, top_k, trimmed_mean
+
+        mach, recs, f = self._setup(n=100)
+        with pytest.raises(SpecError):
+            percentile(mach, f, 1.5)
+        with pytest.raises(SpecError):
+            trimmed_mean(mach, f, trim=0.5)
+        with pytest.raises(SpecError):
+            top_k(mach, f, 0)
+        with pytest.raises(SpecError):
+            top_k(mach, f, 101)
+
+    def test_duplicates(self):
+        from repro.apps import median, top_k
+        from repro.workloads import few_distinct, load_input
+
+        mach = Machine(memory=4096, block=64)
+        recs = few_distinct(3000, seed=21, n_distinct=3)
+        f = load_input(mach, recs)
+        assert median(mach, f) == int(np.sort(recs["key"])[1499])
+        out = top_k(mach, f, 500)
+        assert np.array_equal(
+            np.sort(out.to_numpy()["key"]), np.sort(recs["key"])[:500]
+        )

@@ -1,0 +1,122 @@
+"""Tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import check_multiselect, check_partitioned, check_splitters
+from repro.baselines import (
+    multiselect_via_multipartition,
+    multiselect_via_repeated_selection,
+    sort_based_multiselect,
+    sort_based_partition,
+    sort_based_splitters,
+)
+from repro.core.multiselect import multi_select
+from repro.em import Machine, SpecError, composite
+from repro.workloads import few_distinct, load_input, random_permutation
+
+
+@pytest.fixture
+def setup():
+    mach = Machine(memory=256, block=8)
+    recs = random_permutation(2000, seed=70)
+    f = load_input(mach, recs)
+    return mach, recs, f
+
+
+class TestSortBased:
+    def test_splitters_valid(self, setup):
+        mach, recs, f = setup
+        res = sort_based_splitters(mach, f, 8, 100, 500)
+        check_splitters(recs, res.splitters, 100, 500, 8)
+        assert res.variant == "baseline/sort"
+
+    def test_splitters_k1(self, setup):
+        mach, recs, f = setup
+        res = sort_based_splitters(mach, f, 1, 0, 2000)
+        assert len(res.splitters) == 0
+
+    def test_partition_valid(self, setup):
+        mach, recs, f = setup
+        pf = sort_based_partition(mach, f, 8, 100, 500)
+        check_partitioned(recs, pf, 100, 500, 8)
+        assert pf.partition_sizes == [250] * 8
+
+    def test_partition_uneven_n(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(103, seed=71)
+        f = load_input(mach, recs)
+        pf = sort_based_partition(mach, f, 4, 0, 103)
+        assert sorted(pf.partition_sizes, reverse=True) == [26, 26, 26, 25]
+        check_partitioned(recs, pf, 0, 103, 4)
+
+    def test_partition_more_parts_than_blocks(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(10, seed=72)
+        f = load_input(mach, recs)
+        pf = sort_based_partition(mach, f, 10, 1, 1)
+        assert pf.partition_sizes == [1] * 10
+        check_partitioned(recs, pf, 1, 1, 10)
+
+    def test_multiselect_matches_core(self, setup):
+        mach, recs, f = setup
+        ranks = np.array([1, 7, 500, 500, 1999, 3])
+        got = sort_based_multiselect(mach, f, ranks)
+        check_multiselect(recs, ranks, got)
+
+    def test_multiselect_bad_ranks(self, setup):
+        mach, recs, f = setup
+        with pytest.raises(SpecError):
+            sort_based_multiselect(mach, f, np.array([0]))
+
+    def test_multiselect_k_larger_than_memory(self):
+        # The batched rank reader must handle K > M.
+        mach = Machine(memory=64, block=8)
+        recs = random_permutation(500, seed=73)
+        f = load_input(mach, recs)
+        ranks = np.arange(1, 401)
+        got = sort_based_multiselect(mach, f, ranks)
+        check_multiselect(recs, ranks, got)
+
+
+class TestMultipartitionRoute:
+    def test_matches_ground_truth(self, setup):
+        mach, recs, f = setup
+        ranks = np.array([100, 1, 1500, 2000, 100])
+        got = multiselect_via_multipartition(mach, f, ranks)
+        check_multiselect(recs, ranks, got)
+
+    def test_duplicate_keys(self):
+        mach = Machine(memory=256, block=8)
+        recs = few_distinct(1000, seed=74, n_distinct=3)
+        f = load_input(mach, recs)
+        ranks = np.array([1, 500, 1000])
+        got = multiselect_via_multipartition(mach, f, ranks)
+        check_multiselect(recs, ranks, got)
+
+    def test_agrees_with_core_multiselect(self, setup):
+        mach, recs, f = setup
+        ranks = np.linspace(1, 2000, 9).astype(np.int64)
+        a = multiselect_via_multipartition(mach, f, ranks)
+        b = multi_select(mach, f, ranks)
+        assert np.array_equal(composite(a), composite(b))
+
+
+class TestRepeatedSelection:
+    def test_matches_ground_truth(self, setup):
+        mach, recs, f = setup
+        ranks = np.array([5, 1000, 1995])
+        got = multiselect_via_repeated_selection(mach, f, ranks)
+        check_multiselect(recs, ranks, got)
+
+    def test_cost_scales_with_k(self, setup):
+        mach, recs, f = setup
+        mach.reset_counters()
+        multiselect_via_repeated_selection(mach, f, np.array([1000]))
+        one = mach.io.total
+        mach.reset_counters()
+        multiselect_via_repeated_selection(
+            mach, f, np.array([100, 500, 1000, 1500])
+        )
+        four = mach.io.total
+        assert four >= 3 * one

@@ -1,0 +1,224 @@
+"""Tests for bound formulas and counting lemmas."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    chain_cover_log2_upper,
+    count_linear_extensions_bruteforce,
+    decision_tree_min_ios,
+    lemma5_condition,
+    lemma5_min_ios,
+    lg,
+    lg_ratio,
+    log2_binomial,
+    log2_factorial,
+    log2_multinomial_equal,
+    multipartition_io,
+    multiselect_io,
+    partition_left_bound,
+    partition_right_upper,
+    pi_hard_log2,
+    precise_partition_outcomes_log2,
+    sort_io,
+    splitters_left_bound,
+    splitters_right_bound,
+    splitters_two_sided_bound,
+    theorem1_min_ios,
+    theorem2_min_ios,
+)
+
+
+class TestLg:
+    def test_floor_at_one(self):
+        assert lg(0.5) == 1.0
+        assert lg(1) == 1.0
+        assert lg(2) == 1.0
+        assert lg(8) == 3.0
+
+    def test_base(self):
+        assert lg(64, base=4) == 3.0
+
+    def test_lg_ratio_uses_m_over_b(self):
+        assert lg_ratio(64, 32, 8) == 3.0  # base 4
+
+    def test_lg_ratio_base_floor(self):
+        # Degenerate M/B < 2 falls back to base 2.
+        assert lg_ratio(8, 8, 8) == 3.0
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            lg(10, base=1.0)
+
+
+class TestFormulaShapes:
+    def test_sort_dominates_scan(self):
+        assert sort_io(10**6, 4096, 64) >= 10**6 / 64
+
+    def test_splitters_right_sublinear_regime(self):
+        n, m, b = 10**6, 4096, 64
+        assert splitters_right_bound(n, 64, 4, m, b) < n / b
+
+    def test_splitters_right_monotone_in_a(self):
+        vals = [splitters_right_bound(10**6, 256, a, 4096, 64) for a in (1, 16, 256)]
+        assert vals == sorted(vals)
+
+    def test_splitters_left_monotone_in_b(self):
+        n = 10**6
+        vals = [splitters_left_bound(n, 100, bb, 512, 16) for bb in (10, 100, 10_000)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_two_sided_is_sum(self):
+        n, k, a, bb, m, b = 10**6, 128, 100, 20_000, 4096, 64
+        assert splitters_two_sided_bound(n, k, a, bb, m, b) == pytest.approx(
+            splitters_right_bound(n, k, a, m, b)
+            + splitters_left_bound(n, k, bb, m, b)
+        )
+
+    def test_partition_right_upper_at_least_scan(self):
+        assert partition_right_upper(10**6, 64, 100, 4096, 64) >= 10**6 / 64
+
+    def test_partition_left_saturates_at_sort(self):
+        n, m, b = 10**6, 512, 16
+        tiny_b = partition_left_bound(n, n, 1, m, b)
+        assert tiny_b == pytest.approx(sort_io(n, m, b))
+
+    def test_multiselect_below_multipartition(self):
+        n, m, b = 10**6, 512, 16
+        for k in (64, 256, 4096):
+            assert multiselect_io(n, k, m, b) <= multipartition_io(n, k, m, b)
+
+    def test_lemma5_condition(self):
+        assert lemma5_condition(10**6, 4096, 64)
+        assert not lemma5_condition(2**100, 4, 2)
+
+
+class TestCountingExact:
+    def test_log2_factorial_small(self):
+        assert log2_factorial(5) == pytest.approx(math.log2(120))
+        assert log2_factorial(0) == pytest.approx(0.0)
+
+    def test_log2_binomial(self):
+        assert log2_binomial(10, 3) == pytest.approx(math.log2(120))
+        assert log2_binomial(5, 9) == float("-inf")
+
+    def test_multinomial_equal(self):
+        # 6!/(2!)^3 = 90.
+        assert log2_multinomial_equal(6, 3) == pytest.approx(math.log2(90))
+        with pytest.raises(ValueError):
+            log2_multinomial_equal(7, 3)
+
+    def test_pi_hard(self):
+        # N=6, B=2: ((6/2)!)^2 = 36.
+        assert pi_hard_log2(6, 2) == pytest.approx(math.log2(36))
+
+    def test_decision_tree_min_ios(self):
+        # 2^20 outcomes with C(M,B)=2^10 per I/O -> at least 2 I/Os.
+        assert decision_tree_min_ios(20.0, 1024, 1) == pytest.approx(2.0)
+
+    def test_lemma5_lower_bound_positive_and_below_upper(self):
+        n, k, m, b = 65_536, 64, 512, 16
+        lb = lemma5_min_ios(n, k, m, b)
+        assert 0 < lb <= 3 * multipartition_io(n, k, m, b)
+
+    def test_theorem_bounds_positive(self):
+        assert theorem1_min_ios(10**6, 1024, 16, 512, 16) > 0
+        assert theorem2_min_ios(10**6, 100, 64, 512, 16) > 0
+
+
+class TestChainCover:
+    def test_total_order_has_one_extension(self):
+        # Width 1: only one linear extension -> log2 <= O(log n) slack = 0.
+        assert chain_cover_log2_upper(10, 1) == pytest.approx(0.0)
+
+    def test_antichain_has_all_permutations(self):
+        assert chain_cover_log2_upper(8, 8) == pytest.approx(log2_factorial(8))
+
+    @given(n=st.integers(2, 9), width=st.integers(1, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_bounds_bruteforce_chain_partition(self, n, width):
+        width = min(width, n)
+        # Build the partial order that is exactly `width` disjoint chains
+        # (balanced): the worst case for the given width, per Dilworth.
+        chains = [list(range(i, n, width)) for i in range(width)]
+        pairs = [
+            (c[j], c[j + 1]) for c in chains for j in range(len(c) - 1)
+        ]
+        exact = count_linear_extensions_bruteforce(n, pairs)
+        assert math.log2(exact) <= chain_cover_log2_upper(n, width) + 1e-9
+
+    def test_bruteforce_cap(self):
+        with pytest.raises(ValueError):
+            count_linear_extensions_bruteforce(10, [])
+
+    def test_bruteforce_known_values(self):
+        # Two 2-chains: 4!/ (2!2!) = 6 extensions.
+        assert count_linear_extensions_bruteforce(4, [(0, 1), (2, 3)]) == 6
+        # Empty order: n! extensions.
+        assert count_linear_extensions_bruteforce(3, []) == 6
+
+
+class TestOrderTheoryFacts:
+    """Cross-check the Fact 4 / Fact 5 counting identities (paper §2)
+    against brute-force enumeration on tiny instances."""
+
+    @given(sizes=st.lists(st.integers(0, 3), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_fact4_ordered_groups_exact(self, sizes):
+        from repro.bounds import ordered_groups_log2
+
+        n = sum(sizes)
+        if n > 8:
+            return
+        # Build the cross-group order: every element of group i below
+        # every element of group j for i < j.
+        pairs, start = [], 0
+        groups = []
+        for g in sizes:
+            groups.append(list(range(start, start + g)))
+            start += g
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                pairs.extend((x, y) for x in groups[i] for y in groups[j])
+        exact = count_linear_extensions_bruteforce(n, pairs)
+        assert math.log2(exact) == pytest.approx(ordered_groups_log2(sizes))
+
+    @given(
+        n=st.integers(2, 7),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fact5_upper_bounds_random_orders(self, n, k, seed):
+        from repro.bounds import fact5_subset_log2_upper
+
+        k = min(k, n - 1)
+        rng = np.random.default_rng(seed)
+        # Random DAG-ish partial order: i < j may be ordered.
+        pairs = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.4
+        ]
+        y = set(rng.choice(n, size=k, replace=False).tolist())
+        cp_x = count_linear_extensions_bruteforce(n, pairs)
+
+        def restricted(subset):
+            nodes = sorted(subset)
+            remap = {v: i for i, v in enumerate(nodes)}
+            sub_pairs = [
+                (remap[a], remap[b]) for a, b in pairs if a in subset and b in subset
+            ]
+            return count_linear_extensions_bruteforce(len(nodes), sub_pairs)
+
+        cp_y = restricted(y)
+        cp_rest = restricted(set(range(n)) - y)
+        bound = fact5_subset_log2_upper(
+            n, k, math.log2(cp_y), math.log2(cp_rest)
+        )
+        assert math.log2(cp_x) <= bound + 1e-9

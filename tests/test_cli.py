@@ -1,0 +1,104 @@
+"""Tests for the CLI and the Table 1 renderer."""
+
+import pytest
+
+from repro.bounds.table import render_table1, table1_rows
+from repro.cli import main
+
+
+class TestTable1:
+    def test_rows_shape(self):
+        rows = table1_rows(10**6, 256, 512, 16_384, 4096, 64)
+        assert len(rows) == 6
+        problems = {r[0] for r in rows}
+        assert problems == {"K-splitters", "K-partitioning"}
+        for _, _, lower, upper in rows:
+            assert 0 < lower <= upper + 1e-9
+
+    def test_theta_rows_equal(self):
+        rows = table1_rows(10**6, 256, 512, 16_384, 4096, 64)
+        by = {(p, g): (lo, up) for p, g, lo, up in rows}
+        for key in [("K-splitters", "right"), ("K-splitters", "left"),
+                    ("K-splitters", "2-sided"), ("K-partitioning", "left")]:
+            lo, up = by[key]
+            assert lo == up
+
+    def test_render_contains_reference(self):
+        out = render_table1(10**6, 256, 512, 16_384, 4096, 64)
+        assert "one scan" in out
+        assert "sorting bound" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1.R1" in out and "THM4" in out
+
+    def test_bounds(self, capsys):
+        rc = main(["bounds", "--n", "100000", "--k", "64", "--a", "100",
+                   "--b", "5000"])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_single_quick(self, capsys, tmp_path):
+        rc = main(["run", "T1.R4", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert (tmp_path / "T1_R4.txt").exists()
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "sublinear" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "BOGUS"])
+
+
+class TestSolve:
+    def test_solve_splitters(self, capsys):
+        rc = main(["solve", "--problem", "splitters", "--n", "5000",
+                   "--k", "8", "--a", "100", "--b", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "I/O by phase" in out
+
+    def test_solve_partition(self, capsys):
+        rc = main(["solve", "--problem", "partition", "--n", "4000",
+                   "--k", "4", "--workload", "few-distinct"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_solve_multiselect(self, capsys):
+        rc = main(["solve", "--problem", "multiselect", "--n", "4000",
+                   "--k", "10", "--memory", "512", "--block", "16"])
+        assert rc == 0
+        assert "comparisons" in capsys.readouterr().out
+
+    def test_solve_unknown_workload(self, capsys):
+        rc = main(["solve", "--problem", "splitters", "--n", "100",
+                   "--k", "2", "--workload", "nope"])
+        assert rc == 2
+
+
+class TestApiDocs:
+    def test_generated_api_docs_up_to_date(self):
+        """docs/API.md must match the current public surface."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(root / "scripts" / "gen_api_docs.py"), "--check"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

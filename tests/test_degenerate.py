@@ -1,0 +1,55 @@
+"""Tests for the §1.1 degenerate case K = N and other parameter corners."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import check_partitioned, check_splitters
+from repro.core import approximate_partition, approximate_splitters
+from repro.em import Machine, composite
+from repro.workloads import few_distinct, load_input, random_permutation
+
+
+class TestKEqualsN:
+    def test_splitters_return_all_but_max(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(200, seed=1)
+        f = load_input(mach, recs)
+        res = approximate_splitters(mach, f, 200, 1, 1)
+        assert res.variant == "degenerate/K=N"
+        check_splitters(recs, res.splitters, 1, 1, 200)
+        # The splitters are exactly the sorted input minus its maximum.
+        srt = np.sort(composite(recs))
+        assert np.array_equal(composite(res.splitters), srt[:-1])
+
+    def test_partitioning_into_singletons(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(150, seed=2)
+        f = load_input(mach, recs)
+        pf = approximate_partition(mach, f, 150, 1, 1)
+        check_partitioned(recs, pf, 1, 1, 150)
+        pf.free()
+
+    def test_with_duplicates(self):
+        mach = Machine(memory=256, block=8)
+        recs = few_distinct(120, seed=3, n_distinct=2)
+        f = load_input(mach, recs)
+        res = approximate_splitters(mach, f, 120, 1, 1)
+        check_splitters(recs, res.splitters, 1, 1, 120)
+
+    def test_k_n_with_relaxed_bounds(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(100, seed=4)
+        f = load_input(mach, recs)
+        res = approximate_splitters(mach, f, 100, 0, 100)
+        check_splitters(recs, res.splitters, 0, 100, 100)
+
+
+class TestSingleElement:
+    def test_n1_k1(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1, seed=5)
+        f = load_input(mach, recs)
+        res = approximate_splitters(mach, f, 1, 1, 1)
+        assert len(res.splitters) == 0
+        pf = approximate_partition(mach, f, 1, 1, 1)
+        assert pf.partition_sizes == [1]

@@ -1,0 +1,109 @@
+"""Differential fuzzing: random machine shapes × workloads × parameters.
+
+Every paper algorithm is run against the trivially-correct sort-based
+route on the same randomized instance; answers must agree exactly
+(multi-selection) or both satisfy the problem definition (splitters /
+partitioning), on machines ranging from the practical minimum
+``M = 5B`` to tall-cache shapes, with every workload family.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import (
+    check_multiselect,
+    check_partitioned,
+    check_splitters,
+)
+from repro.baselines import sort_based_multiselect
+from repro.core import (
+    approximate_partition,
+    approximate_splitters,
+    multi_select,
+)
+from repro.em import Machine, composite
+from repro.workloads import (
+    few_distinct,
+    random_permutation,
+    reverse_sorted,
+    sorted_keys,
+    uniform_random,
+    zipf_like,
+    load_input,
+)
+
+GENERATORS = [
+    random_permutation,
+    uniform_random,
+    sorted_keys,
+    reverse_sorted,
+    few_distinct,
+    zipf_like,
+]
+
+machine_shapes = st.sampled_from(
+    [(40, 8), (64, 8), (96, 16), (256, 8), (256, 16), (512, 16), (1024, 32)]
+)
+
+
+@st.composite
+def instances(draw):
+    m, b = draw(machine_shapes)
+    n = draw(st.integers(max(2 * m, 50), 4000))
+    gen = draw(st.sampled_from(GENERATORS))
+    seed = draw(st.integers(0, 10_000))
+    return m, b, n, gen, seed
+
+
+class TestDifferential:
+    @given(inst=instances(), k=st.integers(1, 40), seed2=st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_multiselect_agrees_with_sort(self, inst, k, seed2):
+        m, b, n, gen, seed = inst
+        recs = gen(n, seed=seed)
+        ranks = np.random.default_rng(seed2).integers(1, n + 1, size=k)
+
+        mach1 = Machine(memory=m, block=b)
+        f1 = load_input(mach1, recs)
+        ours = multi_select(mach1, f1, ranks)
+
+        mach2 = Machine(memory=m, block=b)
+        f2 = load_input(mach2, recs)
+        baseline = sort_based_multiselect(mach2, f2, ranks)
+
+        assert np.array_equal(composite(ours), composite(baseline))
+        check_multiselect(recs, ranks, ours)
+        assert mach1.memory.peak <= m
+
+    @given(
+        inst=instances(),
+        k_frac=st.floats(0.0, 1.0),
+        a_frac=st.floats(0.0, 1.0),
+        b_frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_splitters_and_partitioning_valid_everywhere(
+        self, inst, k_frac, a_frac, b_frac
+    ):
+        m, b_blk, n, gen, seed = inst
+        recs = gen(n, seed=seed)
+        k = 1 + int(k_frac * (n - 1))
+        a = int(a_frac * (n // k))
+        bb_min = -(-n // k)
+        bb = bb_min + int(b_frac * (n - bb_min))
+
+        mach = Machine(memory=m, block=b_blk)
+        f = load_input(mach, recs)
+        res = approximate_splitters(mach, f, k, a, bb)
+        check_splitters(recs, res.splitters, a, bb, k)
+        assert mach.memory.peak <= m
+        assert mach.memory.in_use == 0
+
+        mach2 = Machine(memory=m, block=b_blk)
+        f2 = load_input(mach2, recs)
+        pf = approximate_partition(mach2, f2, k, a, bb)
+        check_partitioned(recs, pf, a, bb, k)
+        pf.free()
+        assert mach2.disk.live_blocks == f2.num_blocks

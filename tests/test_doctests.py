@@ -1,0 +1,25 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.fit
+import repro.analysis.report
+import repro.bounds.formulas
+import repro.em.machine
+import repro.em.records
+
+MODULES = [
+    repro.em.machine,
+    repro.em.records,
+    repro.bounds.formulas,
+    repro.analysis.fit,
+    repro.analysis.report,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,34 @@
+"""End-to-end: every registered experiment passes its shape checks (quick
+mode) and renders.  These are the same harness runs the benchmarks time.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+
+EXPERIMENT_IDS = [e.exp_id for e in all_experiments()]
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENT_IDS)
+def test_experiment_passes_quick(exp_id):
+    res = get_experiment(exp_id)(quick=True)
+    failed = [name for name, ok in res.checks if not ok]
+    assert res.passed, f"{exp_id} failed checks: {failed}"
+    rendered = res.render()
+    assert exp_id in rendered
+    assert "PASS" in rendered
+
+
+def test_registry_contents():
+    ids = set(EXPERIMENT_IDS)
+    # One experiment per Table 1 row + the theorem/lemma/ablation set.
+    assert {
+        "T1.R1", "T1.R2", "T1.R3", "T1.R4", "T1.R5", "T1.R6",
+        "THM4", "LEM5", "LEM6", "SEC3", "HU6", "SORT",
+        "ABL1", "ABL2", "ABL3",
+    } <= ids
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("NOPE")

@@ -1,0 +1,95 @@
+"""Tests for the in-memory multiple-selection engine (§1.2 reference [7])."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alg.inmemory import partition_at_ranks, select_at_ranks
+from repro.em import Machine, composite
+from repro.em.records import make_records
+
+
+@pytest.fixture
+def mach():
+    return Machine(memory=256, block=8)
+
+
+class TestPartitionAtRanks:
+    @given(
+        n=st.integers(0, 300),
+        cuts=st.lists(st.integers(-5, 305), max_size=6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ranges_grouped_correctly(self, n, cuts, seed):
+        mach = Machine(memory=256, block=8)
+        rng = np.random.default_rng(seed)
+        recs = make_records(rng.integers(0, 50, size=n))
+        grouped = partition_at_ranks(mach, recs, list(cuts))
+        comps = composite(grouped)
+        truth = np.sort(composite(recs))
+        valid = sorted({c for c in cuts if 0 < c < n})
+        prev = 0
+        for c in valid + [n]:
+            assert np.array_equal(np.sort(comps[prev:c]), truth[prev:c])
+            prev = c
+
+    def test_returns_copy(self, mach):
+        recs = make_records(np.array([3, 1, 2]))
+        out = partition_at_ranks(mach, recs, [1])
+        out["key"][0] = 99
+        assert recs["key"][0] == 3
+
+    def test_no_valid_cuts_is_identity_multiset(self, mach):
+        recs = make_records(np.array([3, 1, 2]))
+        out = partition_at_ranks(mach, recs, [0, 3, 7])
+        assert np.array_equal(np.sort(out["key"]), np.array([1, 2, 3]))
+
+    def test_charges_n_log_k_comparisons(self, mach):
+        recs = make_records(np.arange(1000))
+        mach.reset_counters()
+        partition_at_ranks(mach, recs, [100, 500, 900])
+        assert mach.comparisons == 1000 * math.ceil(math.log2(4))
+
+
+class TestSelectAtRanks:
+    @given(
+        n=st.integers(1, 300),
+        k=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sorted_truth(self, n, k, seed):
+        mach = Machine(memory=256, block=8)
+        rng = np.random.default_rng(seed)
+        recs = make_records(rng.integers(0, 30, size=n))
+        ranks = rng.integers(1, n + 1, size=k)
+        got = composite(select_at_ranks(mach, recs, ranks))
+        want = np.sort(composite(recs))[ranks - 1]
+        assert np.array_equal(got, want)
+
+    def test_duplicate_ranks_aligned(self, mach):
+        recs = make_records(np.array([5, 1, 9, 3]))
+        out = select_at_ranks(mach, recs, [2, 2, 4, 1])
+        assert list(out["key"]) == [3, 3, 9, 1]
+
+    def test_rank_validation(self, mach):
+        recs = make_records(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            select_at_ranks(mach, recs, [0])
+        with pytest.raises(ValueError):
+            select_at_ranks(mach, recs, [3])
+
+    def test_empty_ranks(self, mach):
+        recs = make_records(np.array([1, 2]))
+        assert len(select_at_ranks(mach, recs, [])) == 0
+
+    def test_comparisons_below_sort(self, mach):
+        # n·lg k for k=2 is far below n·lg n for n=4096.
+        recs = make_records(np.random.default_rng(1).permutation(4096))
+        mach.reset_counters()
+        select_at_ranks(mach, recs, [100, 3000])
+        assert mach.comparisons <= 4096 * 2

@@ -1,0 +1,158 @@
+"""Tests for §4.1 L-intermixed selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intermixed import group_sizes, intermixed_select, max_groups
+from repro.em import Machine, SpecError, composite
+from repro.em.records import make_records
+from repro.workloads import load_input
+
+
+def build_instance(n, L, seed, key_range=10**6):
+    """Random instance with every group non-empty; returns (records, t)."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, key_range, size=n)
+    grps = rng.integers(0, L, size=n)
+    grps[:L] = np.arange(L)
+    recs = make_records(keys, grps=grps)
+    sizes = np.bincount(grps, minlength=L)
+    t = rng.integers(1, sizes + 1)
+    return recs, t
+
+
+def ground_truth(recs, t):
+    comps = composite(recs)
+    out = []
+    for i in range(len(t)):
+        g = np.sort(comps[recs["grp"] == i])
+        out.append(int(g[t[i] - 1]))
+    return out
+
+
+class TestCorrectness:
+    @given(
+        n=st.integers(1, 2000),
+        l_frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 400),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, n, l_frac, seed):
+        mach = Machine(memory=256, block=8)
+        L = 1 + int(l_frac * (min(n, max_groups(mach)) - 1))
+        recs, t = build_instance(n, L, seed)
+        d = load_input(mach, recs)
+        ans = intermixed_select(mach, d, t)
+        got = [int(c) for c in composite(ans)]
+        assert got == ground_truth(recs, t)
+
+    def test_heavy_duplicate_keys(self):
+        mach = Machine(memory=256, block=8)
+        recs, t = build_instance(1200, 6, seed=30, key_range=3)
+        d = load_input(mach, recs)
+        ans = intermixed_select(mach, d, t)
+        assert [int(c) for c in composite(ans)] == ground_truth(recs, t)
+
+    def test_single_group_is_selection(self):
+        mach = Machine(memory=256, block=8)
+        rng = np.random.default_rng(31)
+        recs = make_records(rng.permutation(3000), grps=0)
+        d = load_input(mach, recs)
+        ans = intermixed_select(mach, d, np.array([1234]))
+        assert int(composite(ans)[0]) == np.sort(composite(recs))[1233]
+
+    def test_all_singleton_groups(self):
+        mach = Machine(memory=4096, block=64)
+        L = max_groups(mach)
+        recs = make_records(np.arange(L), grps=np.arange(L))
+        d = load_input(mach, recs)
+        ans = intermixed_select(mach, d, np.ones(L, dtype=np.int64))
+        assert list(ans["grp"]) == list(range(L))
+        assert list(ans["key"]) == list(range(L))
+
+    def test_extreme_ranks_per_group(self):
+        mach = Machine(memory=256, block=8)
+        rng = np.random.default_rng(32)
+        keys = rng.permutation(2000)
+        grps = np.repeat(np.arange(4), 500)
+        recs = make_records(keys, grps=grps)
+        d = load_input(mach, recs)
+        ans = intermixed_select(mach, d, np.array([1, 500, 1, 500]))
+        comps = composite(recs)
+        for i, t in enumerate([1, 500, 1, 500]):
+            g = np.sort(comps[grps == i])
+            assert int(composite(ans[i : i + 1])[0]) == g[t - 1]
+
+
+class TestValidation:
+    def test_l_above_cap_rejected(self):
+        mach = Machine(memory=256, block=8)
+        L = max_groups(mach) + 1
+        recs, t = build_instance(4 * L, L, seed=33)
+        d = load_input(mach, recs)
+        with pytest.raises(SpecError):
+            intermixed_select(mach, d, t)
+
+    def test_empty_group_rejected(self):
+        mach = Machine(memory=256, block=8)
+        recs = make_records(np.arange(10), grps=0)  # group 1 empty
+        d = load_input(mach, recs)
+        with pytest.raises(SpecError):
+            intermixed_select(mach, d, np.array([1, 1]))
+
+    def test_rank_out_of_range_rejected(self):
+        mach = Machine(memory=256, block=8)
+        recs = make_records(np.arange(10), grps=0)
+        d = load_input(mach, recs)
+        with pytest.raises(SpecError):
+            intermixed_select(mach, d, np.array([11]))
+        with pytest.raises(SpecError):
+            intermixed_select(mach, d, np.array([0]))
+
+    def test_empty_rank_list(self):
+        mach = Machine(memory=256, block=8)
+        recs = make_records(np.arange(10), grps=0)
+        d = load_input(mach, recs)
+        assert len(intermixed_select(mach, d, np.array([], dtype=np.int64))) == 0
+
+
+class TestCost:
+    def test_linear_io(self):
+        mach = Machine(memory=4096, block=64)
+        n = 60_000
+        recs, t = build_instance(n, 64, seed=34)
+        d = load_input(mach, recs)
+        mach.reset_counters()
+        intermixed_select(mach, d, t)
+        assert mach.io.total <= 15 * (n // 64)
+
+    def test_cost_insensitive_to_l(self):
+        costs = []
+        for L in (4, 64):
+            mach = Machine(memory=4096, block=64)
+            recs, t = build_instance(40_000, L, seed=35)
+            d = load_input(mach, recs)
+            mach.reset_counters()
+            intermixed_select(mach, d, t)
+            costs.append(mach.io.total)
+        assert max(costs) <= 1.5 * min(costs)
+
+    def test_no_leaks(self):
+        mach = Machine(memory=4096, block=64)
+        recs, t = build_instance(30_000, 32, seed=36)
+        d = load_input(mach, recs)
+        intermixed_select(mach, d, t)
+        assert mach.memory.in_use == 0
+        assert mach.disk.live_blocks == d.num_blocks
+        assert mach.memory.peak <= mach.M
+
+
+class TestGroupSizes:
+    def test_counts(self):
+        mach = Machine(memory=256, block=8)
+        recs = make_records(np.arange(10), grps=np.array([0, 0, 1, 2, 2, 2, 0, 1, 1, 1]))
+        d = load_input(mach, recs)
+        sizes = group_sizes(mach, d, 3)
+        assert list(sizes) == [3, 4, 3]

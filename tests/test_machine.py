@@ -1,0 +1,141 @@
+"""Unit tests for the machine and its memory accountant."""
+
+import pytest
+
+from repro.em import LeaseError, Machine, MemoryBudgetError
+from repro.em.machine import MemoryAccountant
+
+
+class TestMachineConstruction:
+    def test_parameters(self):
+        m = Machine(memory=4096, block=64)
+        assert (m.M, m.B, m.fanout) == (4096, 64, 64)
+
+    def test_requires_m_at_least_2b(self):
+        with pytest.raises(ValueError):
+            Machine(memory=100, block=64)
+
+    def test_minimal_machine(self):
+        m = Machine(memory=2, block=1)
+        assert m.fanout == 2
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            Machine(memory=8, block=0)
+
+
+class TestAccountant:
+    def test_lease_and_release(self):
+        acc = MemoryAccountant(100)
+        lease = acc.lease(60)
+        assert acc.in_use == 60
+        assert acc.available == 40
+        lease.release()
+        assert acc.in_use == 0
+
+    def test_budget_enforced(self):
+        acc = MemoryAccountant(100)
+        acc.lease(80)
+        with pytest.raises(MemoryBudgetError) as ei:
+            acc.lease(21)
+        assert ei.value.requested == 21
+        assert ei.value.in_use == 80
+
+    def test_exact_fit_allowed(self):
+        acc = MemoryAccountant(100)
+        acc.lease(100)
+        assert acc.available == 0
+
+    def test_double_release_fails(self):
+        acc = MemoryAccountant(100)
+        lease = acc.lease(10)
+        lease.release()
+        with pytest.raises(LeaseError):
+            lease.release()
+
+    def test_context_manager_releases(self):
+        acc = MemoryAccountant(100)
+        with acc.lease(50):
+            assert acc.in_use == 50
+        assert acc.in_use == 0
+
+    def test_context_manager_releases_on_error(self):
+        acc = MemoryAccountant(100)
+        with pytest.raises(RuntimeError):
+            with acc.lease(50):
+                raise RuntimeError("boom")
+        assert acc.in_use == 0
+
+    def test_resize_up_and_down(self):
+        acc = MemoryAccountant(100)
+        lease = acc.lease(10)
+        lease.resize(90)
+        assert acc.in_use == 90
+        lease.resize(5)
+        assert acc.in_use == 5
+
+    def test_resize_over_budget_fails(self):
+        acc = MemoryAccountant(100)
+        acc.lease(50)
+        lease = acc.lease(10)
+        with pytest.raises(MemoryBudgetError):
+            lease.resize(60)
+        assert lease.size == 10
+
+    def test_resize_after_release_fails(self):
+        acc = MemoryAccountant(100)
+        lease = acc.lease(10)
+        lease.release()
+        with pytest.raises(LeaseError):
+            lease.resize(20)
+
+    def test_peak_tracking(self):
+        acc = MemoryAccountant(100)
+        a = acc.lease(70)
+        a.release()
+        acc.lease(20)
+        assert acc.peak == 70
+        acc.reset_peak()
+        assert acc.peak == 20
+
+    def test_zero_lease(self):
+        acc = MemoryAccountant(100)
+        with acc.lease(0):
+            assert acc.in_use == 0
+
+    def test_negative_lease_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant(100).lease(-1)
+
+
+class TestMeasure:
+    def test_measure_counts_inner_ios(self):
+        m = Machine(memory=64, block=8)
+        (bid,) = m.disk.allocate(1)
+        from repro.em.records import make_records
+        import numpy as np
+
+        with m.measure() as cost:
+            m.disk.write(bid, make_records(np.arange(4)))
+            m.disk.read(bid)
+        assert (cost.reads, cost.writes, cost.total) == (1, 1, 2)
+
+    def test_measure_with_label(self):
+        m = Machine(memory=64, block=8)
+        (bid,) = m.disk.allocate(1)
+        from repro.em.records import make_records
+        import numpy as np
+
+        with m.measure("phase-x") as cost:
+            m.disk.write(bid, make_records(np.arange(2)))
+        assert cost.by_phase == {"phase-x": (0, 1)}
+
+    def test_reset_counters(self):
+        m = Machine(memory=64, block=8)
+        (bid,) = m.disk.allocate(1)
+        from repro.em.records import make_records
+        import numpy as np
+
+        m.disk.write(bid, make_records(np.arange(2)))
+        m.reset_counters()
+        assert m.io.total == 0

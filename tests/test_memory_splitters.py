@@ -1,0 +1,134 @@
+"""Tests for the memory-splitters building block (Hu et al. [6] substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import induced_partition_sizes
+from repro.core.memory_splitters import (
+    SIZE_LOWER_FACTOR,
+    SIZE_UPPER_FACTOR,
+    default_bucket_count,
+    memory_splitters,
+)
+from repro.em import Machine, composite
+from repro.workloads import (
+    few_distinct,
+    load_input,
+    random_permutation,
+    sorted_keys,
+    zipf_like,
+)
+
+
+def size_factors(recs, splitters):
+    sizes = induced_partition_sizes(recs, splitters)
+    avg = len(recs) / (len(splitters) + 1)
+    return sizes.min() / avg, sizes.max() / avg
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize(
+        "gen", [random_permutation, sorted_keys, zipf_like, few_distinct]
+    )
+    def test_size_factors_across_workloads(self, gen):
+        mach = Machine(memory=4096, block=64)
+        recs = gen(50_000, seed=40)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f)
+        lo, hi = size_factors(recs, sp)
+        assert lo >= SIZE_LOWER_FACTOR
+        assert hi <= SIZE_UPPER_FACTOR
+
+    @given(
+        n=st.integers(100, 20_000),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_size_factors_random_n(self, n, seed):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f)
+        lo, hi = size_factors(recs, sp)
+        assert lo >= SIZE_LOWER_FACTOR
+        assert hi <= SIZE_UPPER_FACTOR
+
+    def test_splitters_are_sorted_elements(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(30_000, seed=41)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f)
+        comps = composite(sp)
+        assert np.all(np.diff(comps) > 0)
+        assert set(comps.tolist()) <= set(composite(recs).tolist())
+
+    def test_explicit_bucket_count(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(30_000, seed=42)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f, n_buckets=32)
+        assert 16 <= len(sp) + 1 <= 32
+        lo, hi = size_factors(recs, sp)
+        assert lo >= SIZE_LOWER_FACTOR and hi <= SIZE_UPPER_FACTOR
+
+
+class TestCost:
+    def test_linear_io(self):
+        for n in (20_000, 80_000):
+            mach = Machine(memory=4096, block=64)
+            f = load_input(mach, random_permutation(n, seed=43))
+            mach.reset_counters()
+            memory_splitters(mach, f)
+            assert mach.io.total <= 6 * (n // 64)
+
+    def test_small_bucket_count_is_cheap(self):
+        # The single-level fast path: few buckets ~ one scan and change.
+        mach = Machine(memory=4096, block=64)
+        n = 60_000
+        f = load_input(mach, random_permutation(n, seed=44))
+        mach.reset_counters()
+        memory_splitters(mach, f, n_buckets=32)
+        assert mach.io.total <= 2.5 * (n // 64)
+
+    def test_memory_budget(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, random_permutation(60_000, seed=45))
+        memory_splitters(mach, f)
+        assert mach.memory.peak <= mach.M
+        assert mach.memory.in_use == 0
+
+    def test_no_disk_leaks(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, random_permutation(30_000, seed=46))
+        memory_splitters(mach, f)
+        assert mach.disk.live_blocks == f.num_blocks
+
+
+class TestEdges:
+    def test_tiny_file_exact(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(100, seed=47)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f, n_buckets=4)
+        sizes = induced_partition_sizes(recs, sp)
+        assert list(sizes) == [25, 25, 25, 25]
+
+    def test_one_bucket_returns_nothing(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, random_permutation(100, seed=48))
+        assert len(memory_splitters(mach, f, n_buckets=1)) == 0
+
+    def test_buckets_capped_at_n(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(10, seed=49)
+        f = load_input(mach, recs)
+        sp = memory_splitters(mach, f, n_buckets=1000)
+        assert len(sp) <= 10
+
+    def test_default_bucket_count_shape(self):
+        assert default_bucket_count(Machine(memory=4096, block=64)) == 512
+        # Flat machine: capped by fanout^2.
+        flat = Machine(memory=64, block=16)
+        assert default_bucket_count(flat) == 4

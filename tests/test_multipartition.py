@@ -1,0 +1,179 @@
+"""Tests for exact multi-partition and PartitionedFile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alg.multipartition import multi_partition, multi_partition_at_ranks
+from repro.alg.partitioned import PartitionedFile
+from repro.analysis.verify import check_partitioned
+from repro.bounds.formulas import multipartition_io
+from repro.em import EMFile, FileError, Machine, SpecError, composite
+from repro.em.records import make_records
+from repro.workloads import few_distinct, load_input, random_permutation
+
+
+def validate(recs, pf, sizes):
+    parts = pf.to_numpy_partitions()
+    assert [len(p) for p in parts] == list(sizes)
+    srt = np.sort(composite(recs))
+    off = 0
+    for p in parts:
+        got = np.sort(composite(p))
+        assert np.array_equal(got, srt[off : off + len(p)])
+        off += len(p)
+
+
+class TestMultiPartition:
+    @given(
+        n=st.integers(1, 800),
+        cuts=st.lists(st.floats(0.0, 1.0), min_size=0, max_size=8),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_sizes(self, n, cuts, seed):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        bounds = sorted({int(c * n) for c in cuts} | {0, n})
+        sizes = list(np.diff(bounds))
+        if not sizes:
+            sizes = [n]
+        pf = multi_partition(mach, f, sizes)
+        validate(recs, pf, sizes)
+        pf.free()
+
+    def test_zero_sizes_allowed(self):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(100, seed=1)
+        f = load_input(mach, recs)
+        sizes = [0, 40, 0, 60, 0]
+        pf = multi_partition(mach, f, sizes)
+        validate(recs, pf, sizes)
+
+    def test_single_partition_copies_input(self):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(50, seed=2)
+        f = load_input(mach, recs)
+        pf = multi_partition(mach, f, [50])
+        validate(recs, pf, [50])
+        pf.free()
+        assert np.array_equal(f.to_numpy()["key"], recs["key"])
+
+    def test_duplicate_keys(self):
+        mach = Machine(memory=128, block=8)
+        recs = few_distinct(600, seed=3, n_distinct=4)
+        f = load_input(mach, recs)
+        sizes = [150, 150, 150, 150]
+        pf = multi_partition(mach, f, sizes)
+        check_partitioned(recs, pf, 150, 150, 4)
+
+    def test_size_validation(self):
+        mach = Machine(memory=128, block=8)
+        f = load_input(mach, random_permutation(100, seed=4))
+        with pytest.raises(SpecError):
+            multi_partition(mach, f, [50, 49])
+        with pytest.raises(SpecError):
+            multi_partition(mach, f, [120, -20])
+
+    def test_io_within_constant_of_bound(self):
+        mach = Machine(memory=256, block=8)
+        n, k = 20_000, 16
+        f = load_input(mach, random_permutation(n, seed=5))
+        mach.reset_counters()
+        pf = multi_partition(mach, f, [n // k] * k)
+        bound = multipartition_io(n, k, mach.M, mach.B)
+        assert mach.io.total <= 10 * bound
+        pf.free()
+
+    def test_few_ranks_cost_near_linear(self):
+        # K=2 must cost O(N/B), not O((N/B) log(N/M)): only the
+        # rank-containing bucket recurses.
+        mach = Machine(memory=256, block=8)
+        n = 30_000
+        f = load_input(mach, random_permutation(n, seed=6))
+        mach.reset_counters()
+        pf = multi_partition(mach, f, [n // 2, n - n // 2])
+        assert mach.io.total <= 8 * (n / mach.B)
+        pf.free()
+
+    def test_memory_and_disk_hygiene(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(5000, seed=7))
+        pf = multi_partition(mach, f, [1000, 1500, 2500])
+        assert mach.memory.in_use == 0
+        assert mach.memory.peak <= mach.M
+        pf.free()
+        assert mach.disk.live_blocks == f.num_blocks
+
+
+class TestAtRanks:
+    def test_boundary_rank_form(self):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(200, seed=8)
+        f = load_input(mach, recs)
+        pf = multi_partition_at_ranks(mach, f, [50, 120])
+        validate(recs, pf, [50, 70, 80])
+
+    def test_duplicate_and_extreme_ranks(self):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(100, seed=9)
+        f = load_input(mach, recs)
+        pf = multi_partition_at_ranks(mach, f, [0, 30, 30, 100])
+        validate(recs, pf, [0, 30, 0, 70, 0])
+
+    def test_invalid_ranks(self):
+        mach = Machine(memory=128, block=8)
+        f = load_input(mach, random_permutation(100, seed=10))
+        with pytest.raises(SpecError):
+            multi_partition_at_ranks(mach, f, [60, 30])
+        with pytest.raises(SpecError):
+            multi_partition_at_ranks(mach, f, [101])
+
+
+class TestPartitionedFile:
+    def _make(self, mach, lengths):
+        segs = [
+            EMFile.from_records(mach, make_records(np.arange(ln)), counted=False)
+            for ln in lengths
+        ]
+        return segs
+
+    def test_invariant_checks(self):
+        mach = Machine(memory=128, block=8)
+        segs = self._make(mach, [10, 20])
+        with pytest.raises(FileError):
+            PartitionedFile(mach, segs, [0], [10, 20])  # parallel mismatch
+        with pytest.raises(FileError):
+            PartitionedFile(mach, segs, [1, 0], [20, 10])  # not monotone
+        with pytest.raises(FileError):
+            PartitionedFile(mach, segs, [0, 1], [10, 19])  # size mismatch
+        with pytest.raises(FileError):
+            PartitionedFile(mach, segs, [0, 5], [10, 20])  # bad partition id
+
+    def test_segments_of_and_len(self):
+        mach = Machine(memory=128, block=8)
+        segs = self._make(mach, [10, 20, 5])
+        pf = PartitionedFile(mach, segs, [0, 0, 2], [30, 0, 5])
+        assert len(pf.segments_of(0)) == 2
+        assert pf.segments_of(1) == []
+        assert len(pf) == 35
+        assert pf.num_partitions == 3
+
+    def test_materialize_cost_and_content(self):
+        mach = Machine(memory=128, block=8)
+        segs = self._make(mach, [16, 8])
+        pf = PartitionedFile(mach, segs, [0, 1], [16, 8])
+        mach.reset_counters()
+        out, sizes = pf.materialize()
+        assert sizes == [16, 8]
+        assert len(out) == 24
+        assert mach.io.reads == 3 and mach.io.writes == 3
+
+    def test_free(self):
+        mach = Machine(memory=128, block=8)
+        segs = self._make(mach, [16, 8])
+        pf = PartitionedFile(mach, segs, [0, 1], [16, 8])
+        pf.free()
+        assert mach.disk.live_blocks == 0

@@ -1,0 +1,127 @@
+"""Tests for Theorem 4 multi-selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import check_multiselect
+from repro.bounds.formulas import multiselect_io
+from repro.core.intermixed import max_groups
+from repro.core.multiselect import multi_select
+from repro.em import Machine, SpecError, composite
+from repro.workloads import few_distinct, load_input, random_permutation
+
+
+class TestCorrectness:
+    @given(
+        n=st.integers(1, 4000),
+        k=st.integers(1, 60),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, n, k, seed):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        rng = np.random.default_rng(seed + 1)
+        ranks = rng.integers(1, n + 1, size=min(k, max_groups(mach) * 3))
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_base_case_regime(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(50_000, seed=50)
+        f = load_input(mach, recs)
+        k = max_groups(mach)  # largest base-case K
+        ranks = np.linspace(1, 50_000, k).astype(np.int64)
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_general_case_regime(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(50_000, seed=51)
+        f = load_input(mach, recs)
+        k = 4 * max_groups(mach)  # forces the multi-partition split
+        ranks = np.sort(
+            np.random.default_rng(52).choice(
+                np.arange(1, 50_001), size=k, replace=False
+            )
+        )
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_unsorted_and_duplicate_ranks(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1000, seed=53)
+        f = load_input(mach, recs)
+        ranks = np.array([500, 1, 500, 1000, 2, 2])
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_all_ranks_identical(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1000, seed=54)
+        f = load_input(mach, recs)
+        ranks = np.full(20, 777)
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_heavy_duplicates_in_data(self):
+        mach = Machine(memory=256, block=8)
+        recs = few_distinct(2000, seed=55, n_distinct=5)
+        f = load_input(mach, recs)
+        ranks = np.array([1, 400, 401, 1000, 1999, 2000])
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+    def test_quantile_pattern(self):
+        # The usage pattern of every splitters algorithm.
+        mach = Machine(memory=4096, block=64)
+        n, k = 30_000, 16
+        recs = random_permutation(n, seed=56)
+        f = load_input(mach, recs)
+        ranks = (np.arange(1, k) * n) // k
+        ans = multi_select(mach, f, ranks)
+        check_multiselect(recs, ranks, ans)
+
+
+class TestValidation:
+    def test_rank_bounds(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=57))
+        with pytest.raises(SpecError):
+            multi_select(mach, f, [0])
+        with pytest.raises(SpecError):
+            multi_select(mach, f, [101])
+        with pytest.raises(SpecError):
+            multi_select(mach, f, [])
+
+
+class TestCost:
+    def test_small_k_is_linear(self):
+        mach = Machine(memory=4096, block=64)
+        n = 80_000
+        f = load_input(mach, random_permutation(n, seed=58))
+        mach.reset_counters()
+        multi_select(mach, f, [n // 3, 2 * n // 3])
+        assert mach.io.total <= 8 * (n // 64)
+
+    def test_io_within_constant_of_bound(self):
+        mach = Machine(memory=4096, block=64)
+        n, k = 60_000, 256
+        f = load_input(mach, random_permutation(n, seed=59))
+        ranks = np.linspace(1, n, k).astype(np.int64)
+        mach.reset_counters()
+        multi_select(mach, f, ranks)
+        bound = multiselect_io(n, k, mach.M, mach.B)
+        assert mach.io.total <= 20 * bound
+
+    def test_no_leaks(self):
+        mach = Machine(memory=4096, block=64)
+        f = load_input(mach, random_permutation(40_000, seed=60))
+        ranks = np.linspace(1, 40_000, 200).astype(np.int64)
+        multi_select(mach, f, ranks)
+        assert mach.memory.in_use == 0
+        assert mach.disk.live_blocks == f.num_blocks
+        assert mach.memory.peak <= mach.M

@@ -1,0 +1,137 @@
+"""Tests for the streaming-rank multi-selection variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import check_multiselect
+from repro.core.intermixed import max_groups
+from repro.core.multiselect import multi_select, multi_select_streamed
+from repro.em import EMFile, Machine, SpecError, composite
+from repro.em.records import make_records
+from repro.workloads import load_input, random_permutation
+
+
+def stage_ranks(machine, ranks):
+    return EMFile.from_records(
+        machine, make_records(np.asarray(ranks, dtype=np.int64)), counted=False
+    )
+
+
+class TestCorrectness:
+    @given(
+        n=st.integers(10, 3000),
+        k_frac=st.floats(0.01, 1.0),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_in_memory_variant(self, n, k_frac, seed):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        rng = np.random.default_rng(seed + 1)
+        k = max(1, int(k_frac * min(n, 300)))
+        ranks = np.sort(rng.choice(np.arange(1, n + 1), size=k, replace=False))
+        rf = stage_ranks(mach, ranks)
+        out = multi_select_streamed(mach, f, rf)
+        answers = out.to_numpy()
+        check_multiselect(recs, ranks, answers)
+        out.free()
+
+    def test_k_beyond_memory(self):
+        # K = 4M: impossible for the array variant, fine streamed.
+        mach = Machine(memory=256, block=8)
+        n = 3000
+        recs = random_permutation(n, seed=7)
+        f = load_input(mach, recs)
+        k = 4 * mach.M
+        ranks = np.sort(
+            np.random.default_rng(8).choice(
+                np.arange(1, n + 1), size=k, replace=False
+            )
+        )
+        rf = stage_ranks(mach, ranks)
+        out = multi_select_streamed(mach, f, rf)
+        check_multiselect(recs, ranks, out.to_numpy())
+        assert mach.memory.peak <= mach.M
+
+    def test_all_ranks(self):
+        mach = Machine(memory=256, block=8)
+        n = 500
+        recs = random_permutation(n, seed=9)
+        f = load_input(mach, recs)
+        ranks = np.arange(1, n + 1)
+        rf = stage_ranks(mach, ranks)
+        out = multi_select_streamed(mach, f, rf)
+        # Selecting every rank is a full sort.
+        assert np.array_equal(
+            composite(out.to_numpy()), np.sort(composite(recs))
+        )
+
+    def test_small_k_single_base(self):
+        mach = Machine(memory=4096, block=64)
+        n = 20_000
+        recs = random_permutation(n, seed=10)
+        f = load_input(mach, recs)
+        ranks = np.array([1, n // 2, n])
+        rf = stage_ranks(mach, ranks)
+        out = multi_select_streamed(mach, f, rf)
+        check_multiselect(recs, ranks, out.to_numpy())
+
+
+class TestValidation:
+    def test_duplicate_ranks_rejected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=11))
+        rf = stage_ranks(mach, [5, 5, 9])
+        with pytest.raises(SpecError, match="strictly increasing"):
+            multi_select_streamed(mach, f, rf)
+
+    def test_unsorted_ranks_rejected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=12))
+        rf = stage_ranks(mach, [9, 5])
+        with pytest.raises(SpecError, match="strictly increasing"):
+            multi_select_streamed(mach, f, rf)
+
+    def test_out_of_range_rejected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=13))
+        with pytest.raises(SpecError):
+            multi_select_streamed(mach, f, stage_ranks(mach, [101]))
+
+    def test_empty_rejected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=14))
+        with pytest.raises(SpecError):
+            multi_select_streamed(mach, f, stage_ranks(mach, []))
+
+
+class TestCost:
+    def test_io_comparable_to_array_variant(self):
+        mach1 = Machine(memory=4096, block=64)
+        mach2 = Machine(memory=4096, block=64)
+        n = 60_000
+        recs = random_permutation(n, seed=15)
+        f1, f2 = load_input(mach1, recs), load_input(mach2, recs)
+        k = 2 * max_groups(mach1)
+        ranks = np.linspace(1, n, k).astype(np.int64)
+        multi_select(mach1, f1, ranks)
+        rf = stage_ranks(mach2, ranks)
+        out = multi_select_streamed(mach2, f2, rf)
+        out.free()
+        # Streaming adds only the rank-file scan and the answer write.
+        assert mach2.io.total <= mach1.io.total + 4 * (k // mach2.B + 2)
+
+    def test_no_leaks(self):
+        mach = Machine(memory=4096, block=64)
+        n = 30_000
+        recs = random_permutation(n, seed=16)
+        f = load_input(mach, recs)
+        ranks = np.linspace(1, n, 300).astype(np.int64)
+        rf = stage_ranks(mach, ranks)
+        out = multi_select_streamed(mach, f, rf)
+        out.free()
+        assert mach.memory.in_use == 0
+        assert mach.disk.live_blocks == f.num_blocks + rf.num_blocks

@@ -1,0 +1,65 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from repro.experiments import report_all
+from repro.experiments.base import Experiment, ExperimentResult
+
+
+def _fake_experiment(exp_id, passed=True):
+    def run(quick=False):
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=f"fake {exp_id}",
+            claim="a claim",
+            headers=["x", "y"],
+            rows=[(1, 2.0)],
+            checks=[("always", passed)],
+            notes=["a note"],
+        )
+
+    return Experiment(exp_id, f"fake {exp_id}", run)
+
+
+def test_generates_document_with_commentary(monkeypatch):
+    fakes = [_fake_experiment("T1.R1"), _fake_experiment("ZZZ")]
+    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
+    text, ok = report_all.generate_experiments_md(quick=True)
+    assert ok
+    assert "2/2 experiments PASS" in text
+    # Known experiment gets its curated commentary; unknown a generic one.
+    assert "Theorems 1 and 5" in text
+    assert "**fake ZZZ.**" in text
+    assert "Reading guide" in text
+
+
+def test_failures_reported(monkeypatch):
+    fakes = [_fake_experiment("A", passed=False)]
+    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
+    text, ok = report_all.generate_experiments_md(quick=True)
+    assert not ok
+    assert "0/1 experiments PASS" in text
+    assert "verdict: FAIL" in text
+
+
+def test_write_experiments_md(tmp_path, monkeypatch):
+    fakes = [_fake_experiment("A")]
+    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
+    out, ok = report_all.write_experiments_md(tmp_path / "E.md", quick=True)
+    assert ok and out.exists()
+    assert "paper vs. measured" in out.read_text()
+
+
+def test_order_respected(monkeypatch):
+    fakes = [_fake_experiment("B"), _fake_experiment("A")]
+    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
+    text, _ = report_all.generate_experiments_md(quick=True, order=["A", "B"])
+    assert text.index("fake A") < text.index("fake B")
+
+
+def test_commentary_covers_all_registered_ids():
+    from repro.experiments import all_experiments
+
+    registered = {e.exp_id for e in all_experiments()}
+    assert registered <= set(report_all.COMMENTARY), (
+        "every registered experiment needs paper-vs-measured commentary"
+    )
+    assert set(report_all.DEFAULT_ORDER) == registered

@@ -1,0 +1,127 @@
+"""Unit and property tests for deterministic sampling and pivot finding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alg.sampling import (
+    approx_quantile_pivots,
+    chunk_samples_to_disk,
+    max_distribution_fanout,
+    pick_pivots_from_sorted,
+    pivot_rank_error_bound,
+)
+from repro.em import Machine, composite
+from repro.em.records import make_records, sort_records
+from repro.workloads import load_input, random_permutation
+
+
+class TestPickPivots:
+    def test_even_spacing(self):
+        data = sort_records(make_records(np.arange(100)))
+        p = pick_pivots_from_sorted(data, 3)
+        assert list(p["key"]) == [24, 49, 74]
+
+    def test_fewer_when_short(self):
+        data = sort_records(make_records(np.arange(2)))
+        p = pick_pivots_from_sorted(data, 10)
+        assert 1 <= len(p) <= 2
+
+    def test_empty(self):
+        data = make_records(np.array([], dtype=np.int64))
+        assert len(pick_pivots_from_sorted(data, 5)) == 0
+
+    def test_zero_pivots(self):
+        data = sort_records(make_records(np.arange(10)))
+        assert len(pick_pivots_from_sorted(data, 0)) == 0
+
+    def test_pivots_sorted_distinct(self):
+        data = sort_records(make_records(np.arange(1000)))
+        p = pick_pivots_from_sorted(data, 31)
+        comps = composite(p)
+        assert np.all(np.diff(comps) > 0)
+
+
+class TestChunkSamples:
+    def test_sample_count_and_order(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(2000, seed=1)
+        f = load_input(mach, recs)
+        sample_file, q = chunk_samples_to_disk(mach, f, per_chunk=16)
+        samples = sample_file.to_numpy()
+        # Chunks of 240 records with per_chunk=16 -> uniform spacing 15.
+        assert q == 15
+        n_chunks = -(-2000 // 240)
+        assert 0 < len(samples) <= 2000 // q + n_chunks
+
+    def test_samples_are_input_elements(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1000, seed=2)
+        f = load_input(mach, recs)
+        sample_file, _ = chunk_samples_to_disk(mach, f, per_chunk=8)
+        sample_comps = set(composite(sample_file.to_numpy()).tolist())
+        all_comps = set(composite(recs).tolist())
+        assert sample_comps <= all_comps
+
+    def test_invalid_per_chunk(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=3))
+        with pytest.raises(ValueError):
+            chunk_samples_to_disk(mach, f, per_chunk=0)
+
+
+class TestApproxQuantilePivots:
+    @given(
+        n=st.integers(500, 8000),
+        n_pivots=st.integers(1, 30),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rank_error_within_bound(self, n, n_pivots, seed):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        pivots = approx_quantile_pivots(mach, f, n_pivots)
+        assert 1 <= len(pivots) <= n_pivots
+        bound = pivot_rank_error_bound(n, n_pivots, mach)
+        sorted_comps = np.sort(composite(recs))
+        ranks = np.searchsorted(sorted_comps, composite(pivots)) + 1
+        targets = (np.arange(1, len(pivots) + 1) * n) // (len(pivots) + 1)
+        assert np.all(np.abs(ranks - targets) <= bound + n // (len(pivots) + 1))
+
+    def test_exact_in_memory_case(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(100, seed=4)
+        f = load_input(mach, recs)
+        pivots = approx_quantile_pivots(mach, f, 3)
+        sorted_comps = np.sort(composite(recs))
+        ranks = np.searchsorted(sorted_comps, composite(pivots)) + 1
+        assert list(ranks) == [25, 50, 75]
+
+    def test_linear_io(self):
+        mach = Machine(memory=256, block=8)
+        n = 8000
+        f = load_input(mach, random_permutation(n, seed=5))
+        mach.reset_counters()
+        approx_quantile_pivots(mach, f, 15)
+        assert mach.io.total <= 4 * (n // 8)
+
+    def test_memory_stays_within_budget(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(5000, seed=6))
+        approx_quantile_pivots(mach, f, 15)
+        assert mach.memory.peak <= mach.M
+        assert mach.memory.in_use == 0
+
+
+class TestFanout:
+    def test_at_least_two(self):
+        assert max_distribution_fanout(Machine(memory=16, block=8)) == 2
+
+    def test_wide_machine(self):
+        assert max_distribution_fanout(Machine(memory=4096, block=64)) == 30
+
+    def test_error_bound_zero_for_small_files(self):
+        mach = Machine(memory=256, block=8)
+        assert pivot_rank_error_bound(100, 5, mach) == 0

@@ -1,0 +1,115 @@
+"""Tests for single-rank selection (BFPRT and fast bracket variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alg.selection import median_of_five_file, select_rank, select_rank_fast
+from repro.em import Machine, SpecError, composite
+from repro.em.records import make_records
+from repro.workloads import few_distinct, load_input, random_permutation
+
+
+def ground_truth(recs, rank):
+    return int(np.sort(composite(recs))[rank - 1])
+
+
+@pytest.mark.parametrize("select", [select_rank, select_rank_fast])
+class TestBothVariants:
+    @given(
+        n=st.integers(1, 3000),
+        seed=st.integers(0, 500),
+        frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_ground_truth(self, select, n, seed, frac):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        rank = 1 + int(frac * (n - 1))
+        got = select(mach, f, rank)
+        assert int(composite(np.array([got]))[0]) == ground_truth(recs, rank)
+
+    def test_extreme_ranks(self, select):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(2000, seed=19)
+        f = load_input(mach, recs)
+        lo = select(mach, f, 1)
+        hi = select(mach, f, 2000)
+        srt = np.sort(composite(recs))
+        assert int(composite(np.array([lo]))[0]) == srt[0]
+        assert int(composite(np.array([hi]))[0]) == srt[-1]
+
+    def test_heavy_duplicates(self, select):
+        mach = Machine(memory=128, block=8)
+        recs = few_distinct(1500, seed=20, n_distinct=3)
+        f = load_input(mach, recs)
+        for rank in (1, 700, 1500):
+            got = select(mach, f, rank)
+            assert int(composite(np.array([got]))[0]) == ground_truth(recs, rank)
+
+    def test_rank_out_of_range(self, select):
+        mach = Machine(memory=128, block=8)
+        f = load_input(mach, random_permutation(50, seed=21))
+        with pytest.raises(SpecError):
+            select(mach, f, 0)
+        with pytest.raises(SpecError):
+            select(mach, f, 51)
+
+    def test_linear_io(self, select):
+        mach = Machine(memory=256, block=8)
+        n = 20_000
+        f = load_input(mach, random_permutation(n, seed=22))
+        mach.reset_counters()
+        select(mach, f, n // 3)
+        assert mach.io.total <= 12 * (n // 8)
+
+    def test_no_leaks(self, select):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(5000, seed=23))
+        select(mach, f, 2500)
+        assert mach.memory.in_use == 0
+        assert mach.disk.live_blocks == f.num_blocks
+
+    def test_input_left_intact(self, select):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(500, seed=24)
+        f = load_input(mach, recs)
+        select(mach, f, 250)
+        assert np.array_equal(f.to_numpy()["key"], recs["key"])
+
+
+class TestFastIsFaster:
+    def test_fast_beats_bfprt_on_large_inputs(self):
+        m1 = Machine(memory=256, block=8)
+        m2 = Machine(memory=256, block=8)
+        recs = random_permutation(30_000, seed=25)
+        f1, f2 = load_input(m1, recs), load_input(m2, recs)
+        select_rank(m1, f1, 15_000)
+        select_rank_fast(m2, f2, 15_000)
+        assert m2.io.total < m1.io.total
+
+
+class TestMedianOfFive:
+    def test_sigma_size(self):
+        mach = Machine(memory=128, block=8)
+        f = load_input(mach, random_permutation(1000, seed=26))
+        sigma = median_of_five_file(mach, f)
+        # ceil over chunks: |Sigma| within [n/5, n/5 + #chunks].
+        assert 200 <= len(sigma) <= 200 + 1000 // (mach.M - 2 * mach.B) + 1
+
+    def test_sigma_elements_from_input(self):
+        mach = Machine(memory=128, block=8)
+        recs = random_permutation(500, seed=27)
+        f = load_input(mach, recs)
+        sigma = median_of_five_file(mach, f).to_numpy()
+        assert set(composite(sigma).tolist()) <= set(composite(recs).tolist())
+
+    def test_tiny_inputs(self):
+        mach = Machine(memory=128, block=8)
+        for n in (1, 2, 3, 4, 5, 6):
+            recs = random_permutation(n, seed=n)
+            f = load_input(mach, recs)
+            sigma = median_of_five_file(mach, f)
+            assert len(sigma) == -(-n // 5)

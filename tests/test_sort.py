@@ -1,0 +1,122 @@
+"""Tests for external merge sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alg.sort import external_sort, form_runs, merge_fanout, merge_runs
+from repro.analysis.verify import check_sorted
+from repro.bounds.formulas import sort_io
+from repro.em import Machine, composite
+from repro.em.records import make_records
+from repro.workloads import (
+    few_distinct,
+    load_input,
+    random_permutation,
+    reverse_sorted,
+    sorted_keys,
+)
+
+
+class TestCorrectness:
+    @given(
+        keys=st.lists(st.integers(-1000, 1000), min_size=0, max_size=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sorts_arbitrary_inputs(self, keys):
+        mach = Machine(memory=64, block=8)
+        recs = make_records(np.array(keys, dtype=np.int64))
+        f = load_input(mach, recs)
+        out = external_sort(mach, f)
+        check_sorted(recs, out.to_numpy())
+
+    @pytest.mark.parametrize(
+        "gen", [random_permutation, sorted_keys, reverse_sorted, few_distinct]
+    )
+    def test_workloads(self, gen):
+        mach = Machine(memory=256, block=8)
+        recs = gen(3000, seed=11)
+        f = load_input(mach, recs)
+        out = external_sort(mach, f)
+        check_sorted(recs, out.to_numpy())
+
+    def test_duplicates_ordered_by_uid(self):
+        mach = Machine(memory=64, block=8)
+        recs = make_records(np.zeros(100, dtype=np.int64))
+        f = load_input(mach, recs)
+        out = external_sort(mach, f).to_numpy()
+        assert np.array_equal(out["uid"], np.arange(100))
+
+    def test_input_left_intact(self):
+        mach = Machine(memory=64, block=8)
+        recs = random_permutation(100, seed=12)
+        f = load_input(mach, recs)
+        external_sort(mach, f)
+        assert np.array_equal(f.to_numpy()["key"], recs["key"])
+
+
+class TestCost:
+    def test_io_within_constant_of_bound(self):
+        mach = Machine(memory=256, block=8)
+        n = 20_000
+        f = load_input(mach, random_permutation(n, seed=13))
+        mach.reset_counters()
+        external_sort(mach, f)
+        bound = sort_io(n, mach.M, mach.B)
+        assert mach.io.total <= 4 * bound
+
+    def test_single_memory_load_two_passes(self):
+        mach = Machine(memory=256, block=8)
+        n = 200  # fits in one run
+        f = load_input(mach, random_permutation(n, seed=14))
+        mach.reset_counters()
+        external_sort(mach, f)
+        # Read once + write once (run formation), no merging.
+        assert mach.io.total <= 2 * (n // 8 + 2)
+
+    def test_smaller_fanout_costs_more(self):
+        mach1 = Machine(memory=256, block=8)
+        mach2 = Machine(memory=256, block=8)
+        recs = random_permutation(10_000, seed=15)
+        f1, f2 = load_input(mach1, recs), load_input(mach2, recs)
+        external_sort(mach1, f1, fanout=2)
+        external_sort(mach2, f2)
+        assert mach1.io.total > mach2.io.total
+
+    def test_memory_budget_respected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(10_000, seed=16))
+        external_sort(mach, f)
+        assert mach.memory.peak <= mach.M
+        assert mach.memory.in_use == 0
+
+
+class TestPieces:
+    def test_form_runs_sizes(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(1000, seed=17))
+        runs = form_runs(mach, f)
+        run_cap = mach.M - 2 * mach.B
+        assert all(len(r) <= run_cap for r in runs)
+        assert sum(len(r) for r in runs) == 1000
+        for r in runs:
+            comps = composite(r.to_numpy())
+            assert np.all(np.diff(comps) > 0)
+
+    def test_merge_runs_frees_inputs(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(1000, seed=18))
+        runs = form_runs(mach, f)
+        out = merge_runs(mach, runs)
+        assert len(out) == 1000
+        # Only the input and the output remain on disk.
+        assert mach.disk.live_blocks == f.num_blocks + out.num_blocks
+
+    def test_merge_runs_empty(self):
+        mach = Machine(memory=256, block=8)
+        out = merge_runs(mach, [])
+        assert len(out) == 0
+
+    def test_fanout_clamped(self):
+        assert merge_fanout(Machine(memory=64, block=8)) >= 2

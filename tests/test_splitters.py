@@ -1,0 +1,201 @@
+"""Tests for §5.1 approximate K-splitters (all three variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import check_splitters
+from repro.core.spec import validate_params
+from repro.core.splitters import (
+    approximate_splitters,
+    left_grounded_splitters,
+    right_grounded_splitters,
+    two_sided_splitters,
+)
+from repro.em import Machine, SpecError
+from repro.workloads import few_distinct, load_input, random_permutation, sorted_keys
+
+
+class TestRightGrounded:
+    @given(
+        n=st.integers(2, 3000),
+        k_frac=st.floats(0.0, 1.0),
+        a_frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, n, k_frac, a_frac, seed):
+        mach = Machine(memory=256, block=8)
+        k = 1 + int(k_frac * (n - 1))
+        a = int(a_frac * (n // k))
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        res = right_grounded_splitters(mach, f, k, a)
+        check_splitters(recs, res.splitters, a, n, k)
+
+    def test_k_equals_one(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=1))
+        res = right_grounded_splitters(mach, f, 1, 50)
+        assert len(res.splitters) == 0
+
+    def test_a_zero_trivial_path(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(100, seed=2)
+        f = load_input(mach, recs)
+        res = right_grounded_splitters(mach, f, 10, 0)
+        assert res.variant == "right-grounded/trivial"
+        check_splitters(recs, res.splitters, 0, 100, 10)
+
+    def test_sublinear_io_for_small_ak(self):
+        mach = Machine(memory=4096, block=64)
+        n = 100_000
+        f = load_input(mach, random_permutation(n, seed=3))
+        mach.reset_counters()
+        right_grounded_splitters(mach, f, 32, 16)  # aK = 512 << N
+        assert mach.io.total < n // 64  # strictly below one scan
+
+    def test_perfect_balance_a_equals_n_over_k(self):
+        mach = Machine(memory=256, block=8)
+        n, k = 1000, 10
+        recs = random_permutation(n, seed=4)
+        f = load_input(mach, recs)
+        res = right_grounded_splitters(mach, f, k, n // k)
+        sizes = check_splitters(recs, res.splitters, n // k, n, k)
+        assert all(s >= n // k for s in sizes[:-1])
+
+
+class TestLeftGrounded:
+    @given(
+        n=st.integers(2, 3000),
+        k_frac=st.floats(0.0, 1.0),
+        b_frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, n, k_frac, b_frac, seed):
+        mach = Machine(memory=256, block=8)
+        k = 1 + int(k_frac * (n - 1))
+        b_min = -(-n // k)
+        b = b_min + int(b_frac * (n - b_min))
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        res = left_grounded_splitters(mach, f, k, b)
+        check_splitters(recs, res.splitters, 0, b, k)
+
+    def test_padding_when_k_exceeds_n_over_b(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1000, seed=5)
+        f = load_input(mach, recs)
+        res = left_grounded_splitters(mach, f, 50, 900)  # K' = 2, pad 48
+        check_splitters(recs, res.splitters, 0, 900, 50)
+
+    def test_b_at_least_n_means_all_padding(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(100, seed=6)
+        f = load_input(mach, recs)
+        res = left_grounded_splitters(mach, f, 20, 100)
+        check_splitters(recs, res.splitters, 0, 100, 20)
+
+    def test_duplicates(self):
+        mach = Machine(memory=256, block=8)
+        recs = few_distinct(800, seed=7, n_distinct=3)
+        f = load_input(mach, recs)
+        res = left_grounded_splitters(mach, f, 8, 150)
+        check_splitters(recs, res.splitters, 0, 150, 8)
+
+
+class TestTwoSided:
+    @given(
+        n=st.integers(4, 2500),
+        k_frac=st.floats(0.0, 1.0),
+        a_frac=st.floats(0.0, 1.0),
+        b_frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances(self, n, k_frac, a_frac, b_frac, seed):
+        mach = Machine(memory=256, block=8)
+        k = 2 + int(k_frac * (n // 2 - 2))
+        a = max(1, int(a_frac * (n // k)))
+        b = max(-(-n // k), a)
+        b = b + int(b_frac * (n - 1 - b))
+        if b >= n:
+            b = n - 1
+        if a * k > n or b * k < n or b < 1:
+            return
+        recs = random_permutation(n, seed=seed)
+        f = load_input(mach, recs)
+        res = two_sided_splitters(mach, f, k, a, b)
+        check_splitters(recs, res.splitters, a, b, k)
+
+    def test_general_regime_variant(self):
+        mach = Machine(memory=4096, block=64)
+        n, k = 60_000, 64
+        recs = random_permutation(n, seed=8)
+        f = load_input(mach, recs)
+        a, b = n // (4 * k), 4 * (n // k)
+        res = two_sided_splitters(mach, f, k, a, b)
+        assert res.variant == "two-sided"
+        check_splitters(recs, res.splitters, a, b, k)
+
+    def test_fallback_regime_variant(self):
+        mach = Machine(memory=4096, block=64)
+        n, k = 60_000, 64
+        recs = random_permutation(n, seed=9)
+        f = load_input(mach, recs)
+        a, b = n // k, 4 * (n // k)  # a >= N/2K triggers fallback
+        res = two_sided_splitters(mach, f, k, a, b)
+        assert res.variant == "two-sided/quantile-fallback"
+        check_splitters(recs, res.splitters, a, b, k)
+
+    def test_tight_instance_a_equals_b(self):
+        mach = Machine(memory=256, block=8)
+        n, k = 1000, 10
+        recs = random_permutation(n, seed=10)
+        f = load_input(mach, recs)
+        res = two_sided_splitters(mach, f, k, n // k, n // k)
+        sizes = check_splitters(recs, res.splitters, n // k, n // k, k)
+        assert all(s == n // k for s in sizes)
+
+    def test_sorted_input(self):
+        mach = Machine(memory=256, block=8)
+        recs = sorted_keys(2000, seed=11)
+        f = load_input(mach, recs)
+        res = two_sided_splitters(mach, f, 8, 50, 1500)
+        check_splitters(recs, res.splitters, 50, 1500, 8)
+
+
+class TestDispatchAndSpec:
+    def test_dispatch_variants(self):
+        mach = Machine(memory=256, block=8)
+        recs = random_permutation(1000, seed=12)
+        f = load_input(mach, recs)
+        assert "right" in approximate_splitters(mach, f, 4, 100, 1000).variant
+        assert "left" in approximate_splitters(mach, f, 4, 0, 600).variant
+        assert "two-sided" in approximate_splitters(mach, f, 4, 100, 600).variant
+
+    def test_invalid_params_rejected(self):
+        mach = Machine(memory=256, block=8)
+        f = load_input(mach, random_permutation(100, seed=13))
+        with pytest.raises(SpecError):
+            approximate_splitters(mach, f, 10, 11, 100)  # a > N/K
+        with pytest.raises(SpecError):
+            approximate_splitters(mach, f, 10, 5, 9)  # b < N/K
+        with pytest.raises(SpecError):
+            approximate_splitters(mach, f, 0, 0, 100)
+        with pytest.raises(SpecError):
+            approximate_splitters(mach, f, 101, 0, 100)
+
+    def test_validate_params_grounding(self):
+        p = validate_params(100, 10, 0, 100)
+        assert p.is_left_grounded and p.is_right_grounded
+
+    def test_no_leaks(self):
+        mach = Machine(memory=4096, block=64)
+        recs = random_permutation(30_000, seed=14)
+        f = load_input(mach, recs)
+        two_sided_splitters(mach, f, 16, 400, 8000)
+        assert mach.memory.in_use == 0
+        assert mach.disk.live_blocks == f.num_blocks

@@ -1,0 +1,210 @@
+"""Unit and property tests for buffered streams and the k-way merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em import (
+    BlockReader,
+    BlockWriter,
+    EMFile,
+    Machine,
+    StreamError,
+    composite,
+    copy_file,
+    merge_sorted_files,
+    scan_chunks,
+)
+from repro.em.records import make_records, sort_records
+
+
+@pytest.fixture
+def mach():
+    return Machine(memory=256, block=8)
+
+
+def recs(n, start=0):
+    return make_records(np.arange(start, start + n))
+
+
+class TestBlockReader:
+    def test_reads_all_blocks(self, mach):
+        f = EMFile.from_records(mach, recs(20))
+        with BlockReader(f) as reader:
+            sizes = [len(b) for b in reader]
+        assert sizes == [8, 8, 4]
+
+    def test_holds_block_lease(self, mach):
+        f = EMFile.from_records(mach, recs(20))
+        with BlockReader(f):
+            assert mach.memory.in_use == mach.B
+        assert mach.memory.in_use == 0
+
+    def test_lease_released_on_error(self, mach):
+        f = EMFile.from_records(mach, recs(20))
+        with pytest.raises(RuntimeError):
+            with BlockReader(f) as reader:
+                for _ in reader:
+                    raise RuntimeError("boom")
+        assert mach.memory.in_use == 0
+
+    def test_closed_reader_refuses(self, mach):
+        f = EMFile.from_records(mach, recs(20))
+        reader = BlockReader(f)
+        it = iter(reader)
+        next(it)
+        reader.close()
+        with pytest.raises(StreamError):
+            next(it)
+
+
+class TestBlockWriter:
+    def test_accumulates_into_blocks(self, mach):
+        w = BlockWriter(mach)
+        w.write(recs(3))
+        w.write(recs(3, 3))
+        w.write(recs(3, 6))
+        f = w.close()
+        assert len(f) == 9
+        assert f.num_blocks == 2
+        assert len(f.read_block(0)) == 8
+
+    def test_records_written_property(self, mach):
+        w = BlockWriter(mach)
+        w.write(recs(10))
+        assert w.records_written == 10
+        w.close()
+
+    def test_large_single_write(self, mach):
+        w = BlockWriter(mach)
+        w.write(recs(50))
+        f = w.close()
+        assert len(f) == 50
+        assert f.num_blocks == 7
+
+    def test_write_after_close_fails(self, mach):
+        w = BlockWriter(mach)
+        w.close()
+        with pytest.raises(StreamError):
+            w.write(recs(1))
+
+    def test_double_close_fails(self, mach):
+        w = BlockWriter(mach)
+        w.close()
+        with pytest.raises(StreamError):
+            w.close()
+
+    def test_abort_frees_everything(self, mach):
+        live = mach.disk.live_blocks
+        w = BlockWriter(mach)
+        w.write(recs(30))
+        w.abort()
+        assert mach.disk.live_blocks == live
+        assert mach.memory.in_use == 0
+
+    def test_context_manager_aborts_on_error(self, mach):
+        live = mach.disk.live_blocks
+        with pytest.raises(RuntimeError):
+            with BlockWriter(mach) as w:
+                w.write(recs(30))
+                raise RuntimeError("boom")
+        assert mach.disk.live_blocks == live
+
+    def test_preserves_order(self, mach):
+        w = BlockWriter(mach)
+        w.write(recs(5, 10))
+        w.write(recs(5, 0))
+        f = w.close()
+        assert list(f.to_numpy()["key"]) == list(range(10, 15)) + list(range(5))
+
+
+class TestScanChunks:
+    def test_chunk_sizes(self, mach):
+        f = EMFile.from_records(mach, recs(50))
+        chunks = [len(c) for c in scan_chunks(f, 16)]
+        assert chunks == [16, 16, 16, 2]
+
+    def test_rounds_down_to_blocks(self, mach):
+        f = EMFile.from_records(mach, recs(32))
+        chunks = [len(c) for c in scan_chunks(f, 12)]  # -> one block each
+        assert chunks == [8, 8, 8, 8]
+
+    def test_leases_during_iteration(self, mach):
+        f = EMFile.from_records(mach, recs(50))
+        gen = scan_chunks(f, 16)
+        next(gen)
+        assert mach.memory.in_use == 16
+        gen.close()
+        assert mach.memory.in_use == 0
+
+
+class TestMergeSortedFiles:
+    def _merge(self, mach, parts):
+        files = [
+            EMFile.from_records(mach, sort_records(p), counted=False) for p in parts
+        ]
+        with BlockWriter(mach) as w:
+            merge_sorted_files(mach, files, w)
+            out = w.close()
+        return out.to_numpy()
+
+    @given(
+        data=st.lists(
+            st.lists(st.integers(-50, 50), min_size=0, max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_global_sort(self, data):
+        mach = Machine(memory=256, block=8)
+        uid = 0
+        parts = []
+        for lst in data:
+            keys = np.array(lst, dtype=np.int64)
+            parts.append(
+                make_records(keys, uids=np.arange(uid, uid + len(keys)))
+            )
+            uid += len(keys)
+        merged = self._merge(mach, parts)
+        everything = (
+            np.concatenate(parts) if parts else make_records(np.array([]))
+        )
+        assert np.array_equal(
+            composite(merged), np.sort(composite(everything))
+        )
+
+    def test_merge_io_is_one_read_per_block(self, mach):
+        parts = [recs(40, i * 100) for i in range(3)]
+        files = [
+            EMFile.from_records(mach, sort_records(p), counted=False) for p in parts
+        ]
+        mach.reset_counters()
+        with BlockWriter(mach) as w:
+            merge_sorted_files(mach, files, w)
+            out = w.close()
+        in_blocks = sum(f.num_blocks for f in files)
+        assert mach.io.reads == in_blocks
+        assert mach.io.writes == out.num_blocks
+
+    def test_merge_empty_input_list(self, mach):
+        with BlockWriter(mach) as w:
+            merge_sorted_files(mach, [], w)
+            out = w.close()
+        assert len(out) == 0
+
+    def test_merge_with_empty_files(self, mach):
+        parts = [recs(0), recs(10), recs(0)]
+        merged = self._merge(mach, parts)
+        assert len(merged) == 10
+
+
+class TestCopyFile:
+    def test_copy_content_and_cost(self, mach):
+        f = EMFile.from_records(mach, recs(40), counted=False)
+        mach.reset_counters()
+        out = copy_file(mach, f)
+        assert np.array_equal(out.to_numpy()["key"], f.to_numpy()["key"])
+        assert mach.io.reads == f.num_blocks
+        assert mach.io.writes == out.num_blocks

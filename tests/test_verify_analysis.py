@@ -1,0 +1,244 @@
+"""Tests for the verification, fitting, and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.alg.partitioned import PartitionedFile
+from repro.analysis import (
+    VerificationError,
+    check_multiselect,
+    check_partitioned,
+    check_sorted,
+    check_splitters,
+    fit_constant,
+    format_value,
+    induced_partition_sizes,
+    ratio_stats,
+    render_kv,
+    render_table,
+    theta_match,
+)
+from repro.em import EMFile, Machine
+from repro.em.records import make_records, sort_records
+from repro.workloads import random_permutation
+
+
+class TestCheckSplitters:
+    def _data(self, n=100):
+        return random_permutation(n, seed=80)
+
+    def test_accepts_valid(self):
+        data = self._data()
+        srt = sort_records(data)
+        splitters = srt[[24, 49, 74]]
+        sizes = check_splitters(data, splitters, 20, 30, 4)
+        assert list(sizes) == [25, 25, 25, 25]
+
+    def test_rejects_wrong_count(self):
+        data = self._data()
+        with pytest.raises(VerificationError, match="K-1"):
+            check_splitters(data, sort_records(data)[[50]], 0, 100, 3)
+
+    def test_rejects_nonelement_splitter(self):
+        data = self._data()
+        fake = make_records(np.array([10**8]))
+        with pytest.raises(VerificationError, match="not an element"):
+            check_splitters(data, fake, 0, 100, 2)
+
+    def test_rejects_size_violations(self):
+        data = self._data()
+        srt = sort_records(data)
+        with pytest.raises(VerificationError, match="below a"):
+            check_splitters(data, srt[[4]], 10, 100, 2)
+        with pytest.raises(VerificationError, match="above b"):
+            check_splitters(data, srt[[4]], 0, 90, 2)
+
+    def test_induced_sizes_duplicates(self):
+        data = make_records(np.array([5, 5, 5, 7]))
+        splitter = data[1:2]  # the (5, uid=1) element
+        sizes = induced_partition_sizes(data, splitter)
+        assert list(sizes) == [2, 2]
+
+
+class TestCheckPartitioned:
+    def _pf(self, mach, parts):
+        segs = [EMFile.from_records(mach, p, counted=False) for p in parts]
+        return PartitionedFile(
+            mach, segs, list(range(len(parts))), [len(p) for p in parts]
+        )
+
+    def test_accepts_valid(self):
+        mach = Machine(memory=256, block=8)
+        data = random_permutation(60, seed=81)
+        srt = sort_records(data)
+        pf = self._pf(mach, [srt[:20], srt[20:]])
+        check_partitioned(data, pf, 20, 40, 2)
+
+    def test_rejects_overlap(self):
+        mach = Machine(memory=256, block=8)
+        data = random_permutation(60, seed=82)
+        srt = sort_records(data)
+        pf = self._pf(mach, [srt[10:30], srt[:10]])
+        with pytest.raises(VerificationError, match="overlaps"):
+            check_partitioned(data, pf, 0, 60, 2)
+
+    def test_rejects_wrong_multiset(self):
+        mach = Machine(memory=256, block=8)
+        data = random_permutation(60, seed=83)
+        other = sort_records(random_permutation(60, seed=84))
+        pf = self._pf(mach, [other[:30], other[30:]])
+        with pytest.raises(VerificationError):
+            check_partitioned(data, pf, 0, 60, 2)
+
+    def test_rejects_size_out_of_range(self):
+        mach = Machine(memory=256, block=8)
+        data = random_permutation(60, seed=85)
+        srt = sort_records(data)
+        pf = self._pf(mach, [srt[:10], srt[10:]])
+        with pytest.raises(VerificationError, match="outside"):
+            check_partitioned(data, pf, 20, 60, 2)
+
+
+class TestCheckMultiselectSorted:
+    def test_multiselect_happy_and_sad(self):
+        data = random_permutation(50, seed=86)
+        srt = sort_records(data)
+        check_multiselect(data, np.array([1, 25]), srt[[0, 24]])
+        with pytest.raises(VerificationError, match="rank 25"):
+            check_multiselect(data, np.array([1, 25]), srt[[0, 25]])
+        with pytest.raises(VerificationError, match="count"):
+            check_multiselect(data, np.array([1, 25]), srt[[0]])
+
+    def test_sorted_happy_and_sad(self):
+        data = random_permutation(50, seed=87)
+        check_sorted(data, sort_records(data))
+        with pytest.raises(VerificationError):
+            check_sorted(data, data)  # unsorted permutation
+
+
+class TestFit:
+    def test_ratio_stats(self):
+        s = ratio_stats([10, 20, 40], [1, 2, 4])
+        assert s.mean_ratio == pytest.approx(10.0)
+        assert s.spread == pytest.approx(1.0)
+
+    def test_theta_match(self):
+        assert theta_match([10, 21, 39], [1, 2, 4], max_spread=1.2)
+        assert not theta_match([10, 100], [1, 2], max_spread=3.0)
+
+    def test_fit_constant(self):
+        assert fit_constant([2, 4, 6], [1, 2, 3]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_stats([1], [1, 2])
+        with pytest.raises(ValueError):
+            ratio_stats([1], [0])
+        with pytest.raises(ValueError):
+            fit_constant([1], [0])
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["x", "value"], [(1, 2.5), (10, 1234.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[2] and "value" in lines[2]
+        assert "1,234" in out
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.123456) == "0.123"
+        assert format_value(12345) == "12,345"
+        assert format_value(15.234) == "15.2"
+        assert format_value("s") == "s"
+        assert format_value(0.0) == "0"
+
+    def test_render_kv(self):
+        out = render_kv([("alpha", 1), ("b", 2)])
+        assert "alpha : 1" in out
+        assert render_kv([]) == ""
+
+
+class TestTrace:
+    def test_phase_breakdown_sorted_and_shares(self):
+        from repro.analysis import phase_breakdown
+        from repro.em.disk import IOCounters
+
+        c = IOCounters(reads=7, writes=3,
+                       by_phase={"big": (5, 2), "": (2, 1)})
+        rows = phase_breakdown(c)
+        assert rows[0][0] == "big"
+        assert rows[0][3] == 7 and rows[1][0] == "(untagged)"
+        assert abs(sum(r[4] for r in rows) - 1.0) < 1e-9
+
+    def test_render_phase_breakdown_empty(self):
+        from repro.analysis import render_phase_breakdown
+        from repro.em.disk import IOCounters
+
+        assert "no I/O" in render_phase_breakdown(IOCounters())
+
+    def test_render_accepts_machine(self):
+        from repro.analysis import render_phase_breakdown
+        from repro.em import Machine
+        from repro.em.records import make_records
+        import numpy as np
+
+        mach = Machine(memory=64, block=8)
+        (bid,) = mach.disk.allocate(1)
+        with mach.phase("setup"):
+            mach.disk.write(bid, make_records(np.arange(3)))
+        assert "setup" in render_phase_breakdown(mach)
+
+
+class TestAccessStats:
+    def test_pure_sequential(self):
+        from repro.analysis import access_stats
+
+        s = access_stats([("r", i) for i in range(10)])
+        assert s.read_sequentiality == 1.0
+        assert s.read_mean_run == 10.0
+        assert s.writes == 0
+
+    def test_pure_random(self):
+        from repro.analysis import access_stats
+
+        s = access_stats([("r", i) for i in (5, 1, 9, 3, 7)])
+        assert s.read_sequentiality == 0.0
+        assert s.read_mean_run == 1.0
+
+    def test_mixed_directions_independent(self):
+        from repro.analysis import access_stats
+
+        trace = [("r", 0), ("w", 100), ("r", 1), ("w", 101), ("r", 2)]
+        s = access_stats(trace)
+        assert s.read_sequentiality == 1.0
+        assert s.write_sequentiality == 1.0
+        assert (s.reads, s.writes) == (3, 2)
+
+    def test_empty_and_singleton(self):
+        from repro.analysis import access_stats
+
+        s = access_stats([])
+        assert s.reads == 0 and s.read_sequentiality == 1.0
+        s = access_stats([("w", 7)])
+        assert s.writes == 1 and s.write_mean_run == 1.0
+
+    def test_disk_trace_capture(self):
+        import numpy as np
+        from repro.analysis import access_stats
+        from repro.em import Machine
+        from repro.em.records import make_records
+
+        mach = Machine(memory=64, block=8)
+        ids = mach.disk.allocate(3)
+        for i in ids:
+            mach.disk.write(i, make_records(np.arange(2)))
+        mach.disk.start_trace()
+        mach.disk.read(ids[0])
+        mach.disk.read(ids[1])
+        with mach.disk.uncounted():
+            mach.disk.read(ids[2])  # uncounted: not traced
+        trace = mach.disk.stop_trace()
+        assert trace == [("r", ids[0]), ("r", ids[1])]
+        assert mach.disk.stop_trace() == []  # tracing stopped

@@ -1,0 +1,110 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.em import Machine, composite
+from repro.workloads import (
+    WORKLOADS,
+    few_distinct,
+    hard_permutation,
+    load_input,
+    random_permutation,
+    reverse_sorted,
+    sorted_keys,
+    uniform_random,
+    zipf_like,
+)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name,gen", sorted(WORKLOADS.items()))
+    def test_registry_generators(self, name, gen):
+        recs = gen(500, seed=1)
+        assert len(recs) == 500
+        assert np.array_equal(np.sort(recs["uid"]), np.arange(500))
+        # Composites distinct regardless of key duplication.
+        assert len(np.unique(composite(recs))) == 500
+
+    def test_seeded_reproducibility(self):
+        a = uniform_random(1000, seed=7)
+        b = uniform_random(1000, seed=7)
+        c = uniform_random(1000, seed=8)
+        assert np.array_equal(a["key"], b["key"])
+        assert not np.array_equal(a["key"], c["key"])
+
+    def test_permutation_is_permutation(self):
+        r = random_permutation(300, seed=2)
+        assert np.array_equal(np.sort(r["key"]), np.arange(300))
+
+    def test_sorted_and_reverse(self):
+        assert np.array_equal(sorted_keys(10)["key"], np.arange(10))
+        assert np.array_equal(reverse_sorted(10)["key"], np.arange(10)[::-1])
+
+    def test_few_distinct(self):
+        r = few_distinct(500, seed=3, n_distinct=4)
+        assert len(np.unique(r["key"])) <= 4
+
+    def test_zipf_skew(self):
+        r = zipf_like(5000, seed=4)
+        counts = np.bincount(np.minimum(r["key"], 10).astype(int))
+        assert counts[1] > len(r) // 4  # heavy head
+
+    def test_nearly_sorted_mostly_ordered(self):
+        from repro.workloads import nearly_sorted
+
+        r = nearly_sorted(2000, seed=5, swap_fraction=0.05)
+        inversions = int((np.diff(r["key"]) < 0).sum())
+        assert 0 < inversions <= 2000 * 0.06
+        assert np.array_equal(np.sort(r["key"]), np.arange(2000))
+
+    def test_organ_pipe_shape(self):
+        from repro.workloads import organ_pipe
+
+        r = organ_pipe(101)
+        keys = r["key"]
+        peak = int(np.argmax(keys))
+        assert np.all(np.diff(keys[: peak + 1]) >= 0)
+        assert np.all(np.diff(keys[peak:]) <= 0)
+
+    def test_sorted_runs_structure(self):
+        from repro.workloads import sorted_runs
+
+        r = sorted_runs(1600, seed=6, n_runs=8)
+        keys = r["key"].reshape(8, 200)
+        for run in keys:
+            assert np.all(np.diff(run) >= 0)
+        # Globally not sorted (runs interleave).
+        assert np.any(np.diff(r["key"]) < 0)
+        assert np.array_equal(np.sort(r["key"]), np.arange(1600))
+
+
+class TestHardPermutation:
+    def test_pi_hard_property(self):
+        B = 16
+        n = 32 * B
+        recs = hard_permutation(n, B, seed=5)
+        keys = recs["key"].reshape(-1, B)  # row = block, column = offset
+        # S_i (offset-i elements) all smaller than S_j for i < j.
+        for i in range(B - 1):
+            assert keys[:, i].max() < keys[:, i + 1].min()
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            hard_permutation(100, 16)
+
+    def test_blocks_align_on_machine(self):
+        mach = Machine(memory=256, block=8)
+        recs = hard_permutation(240, 8, seed=6)
+        f = load_input(mach, recs)
+        # Block j must hold offsets 0..B-1 in stratified order.
+        blk = f.read_block(0)
+        assert len(blk) == 8
+        assert np.all(np.diff(blk["key"]) > 0)
+
+
+class TestLoadInput:
+    def test_uncounted(self):
+        mach = Machine(memory=256, block=8)
+        load_input(mach, random_permutation(100, seed=7))
+        assert mach.io.total == 0
