@@ -89,12 +89,13 @@ def chunk_samples_to_disk(
     # trailing chunk simply contributes fewer samples.
     q = max(1, min(chunk_records, len(file)) // per_chunk)
     with BlockWriter(machine, "samples") as writer:
-        for chunk in scan_chunks(file, chunk_records, "sample-chunk"):
-            cmp_sort(machine, len(chunk))
-            chunk = sort_records(chunk)
-            # Local ranks q, 2q, ... (0-based indices q-1, 2q-1, ...).
-            idx = np.arange(q - 1, len(chunk), q)
-            writer.write(chunk[idx])
+        with scan_chunks(file, chunk_records, "sample-chunk") as chunks:
+            for chunk in chunks:
+                cmp_sort(machine, len(chunk))
+                chunk = sort_records(chunk)
+                # Local ranks q, 2q, ... (0-based indices q-1, 2q-1, ...).
+                idx = np.arange(q - 1, len(chunk), q)
+                writer.write(chunk[idx])
         sample_file = writer.close()
     return sample_file, q
 

@@ -53,9 +53,10 @@ def median_of_five_file(machine: "Machine", file: EMFile) -> EMFile:
     """One pass: write the medians of groups of 5 to a new file (|Σ| ≈ n/5)."""
     chunk_records = machine.load_limit
     with BlockWriter(machine, "sigma") as writer:
-        for chunk in scan_chunks(file, chunk_records, "mo5-chunk"):
-            cmp_median5(machine, len(chunk))
-            writer.write(_group_medians(chunk))
+        with scan_chunks(file, chunk_records, "mo5-chunk") as chunks:
+            for chunk in chunks:
+                cmp_median5(machine, len(chunk))
+                writer.write(_group_medians(chunk))
         return writer.close()
 
 
@@ -92,11 +93,12 @@ def _select(machine: "Machine", file: EMFile, rank: int, owned: bool) -> np.void
     low_writer = BlockWriter(machine, "select-low")
     high_writer = BlockWriter(machine, "select-high")
     try:
-        for chunk in scan_chunks(file, machine.load_limit, "select-scan"):
-            cmp_linear(machine, len(chunk))
-            mask = composite(chunk) <= mu_comp
-            low_writer.write(chunk[mask])
-            high_writer.write(chunk[~mask])
+        with scan_chunks(file, machine.load_limit, "select-scan") as chunks:
+            for chunk in chunks:
+                cmp_linear(machine, len(chunk))
+                mask = composite(chunk) <= mu_comp
+                low_writer.write(chunk[mask])
+                high_writer.write(chunk[~mask])
     except BaseException:
         low_writer.abort()
         high_writer.abort()
@@ -177,18 +179,19 @@ def _select_fast(machine: "Machine", file: EMFile, rank: int, owned: bool) -> np
     below = 0
     zone_writer = BlockWriter(machine, "fselect-zone")
     try:
-        for chunk in scan_chunks(file, machine.load_limit, "fselect-scan"):
-            cmp_linear(machine, 2 * len(chunk))
-            comps = composite(chunk)
-            if lo_comp is not None:
-                le_lo = comps <= lo_comp
-                below += int(le_lo.sum())
-            else:
-                le_lo = np.zeros(len(chunk), dtype=bool)
-            in_zone = ~le_lo
-            if hi_comp is not None:
-                in_zone &= comps <= hi_comp
-            zone_writer.write(chunk[in_zone])
+        with scan_chunks(file, machine.load_limit, "fselect-scan") as chunks:
+            for chunk in chunks:
+                cmp_linear(machine, 2 * len(chunk))
+                comps = composite(chunk)
+                if lo_comp is not None:
+                    le_lo = comps <= lo_comp
+                    below += int(le_lo.sum())
+                else:
+                    le_lo = np.zeros(len(chunk), dtype=bool)
+                in_zone = ~le_lo
+                if hi_comp is not None:
+                    in_zone &= comps <= hi_comp
+                zone_writer.write(chunk[in_zone])
     except BaseException:
         zone_writer.abort()
         raise

@@ -38,11 +38,12 @@ def form_runs(machine: "Machine", file: EMFile) -> list[EMFile]:
     """Stage 1: produce sorted runs of up to ``M - 2B`` records each."""
     run_records = machine.load_limit
     runs: list[EMFile] = []
-    for chunk in scan_chunks(file, run_records, "run-formation"):
-        cmp_sort(machine, len(chunk))
-        with BlockWriter(machine, "run") as writer:
-            writer.write(sort_records(chunk))
-            runs.append(writer.close())
+    with scan_chunks(file, run_records, "run-formation") as chunks:
+        for chunk in chunks:
+            cmp_sort(machine, len(chunk))
+            with BlockWriter(machine, "run") as writer:
+                writer.write(sort_records(chunk))
+                runs.append(writer.close())
     return runs
 
 

@@ -185,43 +185,44 @@ def _median_pass(
         sigma_sizes = np.zeros(L, dtype=np.int64)
         with BlockWriter(machine, "ix-sigma") as writer:
             chunk_records = machine.load_limit
-            for chunk in scan_chunks(file, chunk_records, "ix-median-scan"):
-                if len(chunk) == 0:
-                    continue
-                cmp_median5(machine, len(chunk))
-                # Prepend the carried partials so each group's records
-                # appear in arrival order after the stable group sort.
-                carried_groups = np.flatnonzero(carry_cnt)
-                parts = [carry[g, : carry_cnt[g]] for g in carried_groups]
-                parts.append(chunk)
-                comb = np.concatenate(parts)
-                comb = comb[np.argsort(comb["grp"], kind="stable")]
-                g = comb["grp"]
+            with scan_chunks(file, chunk_records, "ix-median-scan") as chunks:
+                for chunk in chunks:
+                    if len(chunk) == 0:
+                        continue
+                    cmp_median5(machine, len(chunk))
+                    # Prepend the carried partials so each group's records
+                    # appear in arrival order after the stable group sort.
+                    carried_groups = np.flatnonzero(carry_cnt)
+                    parts = [carry[g, : carry_cnt[g]] for g in carried_groups]
+                    parts.append(chunk)
+                    comb = np.concatenate(parts)
+                    comb = comb[np.argsort(comb["grp"], kind="stable")]
+                    g = comb["grp"]
 
-                change = np.flatnonzero(np.diff(g)) + 1
-                starts = np.concatenate(([0], change))
-                ends = np.concatenate((change, [len(comb)]))
-                counts = ends - starts
-                gids = g[starts]
+                    change = np.flatnonzero(np.diff(g)) + 1
+                    starts = np.concatenate(([0], change))
+                    ends = np.concatenate((change, [len(comb)]))
+                    counts = ends - starts
+                    gids = g[starts]
 
-                pos = np.arange(len(comb)) - np.repeat(starts, counts)
-                keep_per_group = (counts // 5) * 5
-                keep = pos < np.repeat(keep_per_group, counts)
+                    pos = np.arange(len(comb)) - np.repeat(starts, counts)
+                    keep_per_group = (counts // 5) * 5
+                    keep = pos < np.repeat(keep_per_group, counts)
 
-                full = comb[keep]
-                if len(full):
-                    groups5 = full.reshape(-1, 5)
-                    med_order = np.argsort(composite(groups5), axis=1)
-                    writer.write(
-                        groups5[np.arange(len(groups5)), med_order[:, 2]]
-                    )
-                sigma_sizes[gids] += counts // 5
+                    full = comb[keep]
+                    if len(full):
+                        groups5 = full.reshape(-1, 5)
+                        med_order = np.argsort(composite(groups5), axis=1)
+                        writer.write(
+                            groups5[np.arange(len(groups5)), med_order[:, 2]]
+                        )
+                    sigma_sizes[gids] += counts // 5
 
-                # New carry: each present group's trailing count % 5.
-                left = comb[~keep]
-                lpos = (pos - np.repeat(keep_per_group, counts))[~keep]
-                carry_cnt[gids] = counts % 5
-                carry[left["grp"], lpos] = left
+                    # New carry: each present group's trailing count % 5.
+                    left = comb[~keep]
+                    lpos = (pos - np.repeat(keep_per_group, counts))[~keep]
+                    carry_cnt[gids] = counts % 5
+                    carry[left["grp"], lpos] = left
             # Flush trailing partial subgroups: their (lower) median.
             for g in np.flatnonzero(carry_cnt):
                 rest = carry[g, : carry_cnt[g]]

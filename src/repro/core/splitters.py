@@ -265,11 +265,12 @@ def _split_at(
     low_writer = BlockWriter(machine, "split-low")
     high_writer = BlockWriter(machine, "split-high")
     try:
-        for chunk in scan_chunks(file, machine.load_limit, "split-scan"):
-            cmp_linear(machine, len(chunk))
-            mask = composite(chunk) <= p
-            low_writer.write(chunk[mask])
-            high_writer.write(chunk[~mask])
+        with scan_chunks(file, machine.load_limit, "split-scan") as chunks:
+            for chunk in chunks:
+                cmp_linear(machine, len(chunk))
+                mask = composite(chunk) <= p
+                low_writer.write(chunk[mask])
+                high_writer.write(chunk[~mask])
     except BaseException:
         low_writer.abort()
         high_writer.abort()

@@ -35,6 +35,7 @@ from .records import (
 from .streams import (
     BlockReader,
     BlockWriter,
+    ChunkScanner,
     copy_file,
     merge_sorted_files,
     scan_chunks,
@@ -49,6 +50,7 @@ __all__ = [
     "EMFile",
     "BlockReader",
     "BlockWriter",
+    "ChunkScanner",
     "scan_chunks",
     "merge_sorted_files",
     "copy_file",

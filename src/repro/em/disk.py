@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -76,6 +76,12 @@ class Disk:
             raise ValueError("block_size must be >= 1")
         self._B = int(block_size)
         self._blocks: dict[int, np.ndarray] = {}
+        # Physical layout hints for the batched fast path: block id ->
+        # (arena array, record offset).  Blocks written in one
+        # write_many batch share an arena and sit at consecutive
+        # offsets, so read_many can move whole runs with a single numpy
+        # slice copy.  Purely an optimization — never affects counters.
+        self._origin: dict[int, tuple[np.ndarray, int]] = {}
         self._next_id = 0
         self._counters = IOCounters()
         self._phase_stack: list[str] = []
@@ -159,21 +165,28 @@ class Disk:
         return trace
 
     def reset_counters(self) -> None:
-        """Zero all counters (does not touch stored blocks)."""
+        """Zero all counters (does not touch stored blocks).
+
+        If an access trace is active it is cleared as well, so a
+        subsequent :meth:`stop_trace` returns only post-reset accesses —
+        one measurement window, never a mix of two.
+        """
         self._counters = IOCounters()
         self._read_ids = set()
+        if self._trace is not None:
+            self._trace = []
 
-    def _charge(self, *, read: bool) -> None:
-        if not self._counting:
+    def _charge(self, *, read: bool, count: int = 1) -> None:
+        if not self._counting or count == 0:
             return
         label = self._phase_stack[-1] if self._phase_stack else ""
         r, w = self._counters.by_phase.get(label, (0, 0))
         if read:
-            self._counters.reads += 1
-            self._counters.by_phase[label] = (r + 1, w)
+            self._counters.reads += count
+            self._counters.by_phase[label] = (r + count, w)
         else:
-            self._counters.writes += 1
-            self._counters.by_phase[label] = (r, w + 1)
+            self._counters.writes += count
+            self._counters.by_phase[label] = (r, w + count)
 
     # ------------------------------------------------------------------
     # Block operations
@@ -194,11 +207,21 @@ class Disk:
         return ids
 
     def free(self, block_ids: list[int]) -> None:
-        """Release blocks (re-reading them afterwards is an error)."""
+        """Release blocks (re-reading them afterwards is an error).
+
+        Atomic: every id is validated (allocated, no duplicates) before
+        any block is deleted, so a bad id leaves the disk unchanged.
+        """
+        seen: set[int] = set()
         for bid in block_ids:
             if bid not in self._blocks:
                 raise BadBlockError(f"block {bid} is not allocated")
+            if bid in seen:
+                raise BadBlockError(f"block {bid} appears twice in free list")
+            seen.add(bid)
+        for bid in block_ids:
             del self._blocks[bid]
+            self._origin.pop(bid, None)
 
     def read(self, block_id: int) -> np.ndarray:
         """Read one block; counts one read I/O.  Returns a copy."""
@@ -226,7 +249,114 @@ class Disk:
         self._charge(read=False)
         if self._counting and self._trace is not None:
             self._trace.append(("w", block_id))
-        self._blocks[block_id] = data.copy()
+        stored = data.copy()
+        self._blocks[block_id] = stored
+        self._origin[block_id] = (stored, 0)
+
+    # ------------------------------------------------------------------
+    # Batched block operations
+    # ------------------------------------------------------------------
+    def read_many(self, block_ids: Sequence[int]) -> np.ndarray:
+        """Read ``k`` blocks in one call; counts ``k`` read I/Os.
+
+        Returns one freshly allocated array holding the blocks'
+        records concatenated in the given order.  The model cost and
+        every piece of accounting — counters, phase attribution,
+        :attr:`read_block_ids`, trace entries — are *identical* to ``k``
+        successive :meth:`read` calls; only the Python-level overhead
+        (one numpy concatenation instead of ``k`` copies) differs.
+
+        All ids are validated before any accounting happens, so a bad id
+        raises without charging anything.
+        """
+        if not block_ids:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        # Single validation pass that also coalesces runs of blocks
+        # physically adjacent in one write batch's arena: each run then
+        # moves with a single numpy slice copy instead of one per block.
+        # No state is touched until every id has validated (atomic).
+        bmap = self._blocks
+        origin = self._origin
+        runs: list[tuple[np.ndarray, int, int]] = []  # (arena, offset, records)
+        total = 0
+        run_arena: np.ndarray | None = None
+        run_off = 0  # record offset of the run's start in its arena
+        run_len = 0  # records accumulated in the current run
+        for bid in block_ids:
+            try:
+                b = bmap[bid]
+            except KeyError:
+                raise BadBlockError(f"block {bid} is not allocated") from None
+            o = origin.get(bid)
+            if o is None:
+                arena, off = b, 0
+            else:
+                arena, off = o
+            nb = len(b)
+            if run_arena is arena and off == run_off + run_len:
+                run_len += nb
+            else:
+                if run_arena is not None:
+                    runs.append((run_arena, run_off, run_len))
+                run_arena, run_off, run_len = arena, off, nb
+            total += nb
+        runs.append((run_arena, run_off, run_len))
+        self._charge(read=True, count=len(block_ids))
+        if self._counting:
+            self._read_ids.update(block_ids)
+            if self._trace is not None:
+                self._trace.extend(("r", bid) for bid in block_ids)
+        out = np.empty(total, dtype=RECORD_DTYPE)
+        pos = 0
+        for arena, off, n in runs:
+            out[pos : pos + n] = arena[off : off + n]
+            pos += n
+        return out
+
+    def write_many(self, block_ids: Sequence[int], data: np.ndarray) -> None:
+        """Write ``k`` blocks in one call; counts ``k`` write I/Os.
+
+        ``data`` is the concatenated payload: blocks ``0..k-2`` receive
+        exactly ``B`` records each and the last block the (non-empty)
+        remainder — the :class:`~repro.em.file.EMFile` layout.  Cost and
+        accounting are identical to ``k`` successive :meth:`write`
+        calls.  All ids and the payload shape are validated before any
+        block is touched or charged (atomic, like :meth:`free`).
+        """
+        k = len(block_ids)
+        if data.dtype != RECORD_DTYPE:
+            raise BlockSizeError("block payload must be a record array")
+        if k == 0:
+            if len(data):
+                raise BlockSizeError("non-empty payload with no target blocks")
+            return
+        B = self._B
+        if len(data) > k * B:
+            raise BlockSizeError(
+                f"payload of {len(data)} records exceeds {k} blocks of size {B}"
+            )
+        if len(data) <= (k - 1) * B:
+            raise BlockSizeError(
+                f"payload of {len(data)} records leaves trailing blocks empty "
+                f"(need more than {(k - 1) * B} records for {k} blocks)"
+            )
+        seen: set[int] = set()
+        for bid in block_ids:
+            if bid not in self._blocks:
+                raise BadBlockError(f"block {bid} is not allocated")
+            if bid in seen:
+                raise BadBlockError(f"block {bid} appears twice in write batch")
+            seen.add(bid)
+        self._charge(read=False, count=k)
+        if self._counting and self._trace is not None:
+            self._trace.extend(("w", bid) for bid in block_ids)
+        buf = data.copy()  # one copy for the whole batch — the arena
+        blocks_map = self._blocks
+        origin = self._origin
+        for i, bid in enumerate(block_ids):
+            off = i * B
+            blocks_map[bid] = buf[off : off + B]
+            origin[bid] = (buf, off)
 
     def peek(self, block_id: int) -> np.ndarray:
         """Read a block *without* charging an I/O.

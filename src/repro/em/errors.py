@@ -21,12 +21,16 @@ class MemoryBudgetError(EMError):
     unbounded heap hide the violation.
     """
 
-    def __init__(self, requested: int, in_use: int, capacity: int) -> None:
+    def __init__(
+        self, requested: int, in_use: int, capacity: int, label: str = ""
+    ) -> None:
         self.requested = requested
         self.in_use = in_use
         self.capacity = capacity
+        self.label = label
+        what = f"memory lease {label!r}" if label else "memory lease"
         super().__init__(
-            f"memory lease of {requested} records denied: "
+            f"{what} of {requested} records denied: "
             f"{in_use}/{capacity} records already in use"
         )
 

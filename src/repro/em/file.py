@@ -52,22 +52,11 @@ class EMFile:
         if records.dtype != RECORD_DTYPE:
             raise FileError("EMFile stores record arrays only")
         f = cls(machine)
-        B = machine.B
-        disk = machine.disk
-
-        def _write_all() -> None:
-            for start in range(0, len(records), B):
-                chunk = records[start : start + B]
-                (bid,) = disk.allocate(1)
-                disk.write(bid, chunk)
-                f._block_ids.append(bid)
-                f._length += len(chunk)
-
         if counted:
-            _write_all()
+            f.append_blocks(records)
         else:
-            with disk.uncounted():
-                _write_all()
+            with machine.disk.uncounted():
+                f.append_blocks(records)
         return f
 
     # ------------------------------------------------------------------
@@ -138,6 +127,52 @@ class EMFile:
             self.machine.disk.free([bid])  # don't leak on a failed write
             raise
         self._block_ids.append(bid)
+        self._length += len(data)
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Read blocks ``[start, stop)`` in one batched call.
+
+        Counts exactly ``stop - start`` read I/Os — same model cost,
+        counters, phase attribution and trace as reading the blocks one
+        :meth:`read_block` at a time — but moves them with a single
+        numpy concatenation.  Returns the concatenated records.  The
+        caller is responsible for leasing ``(stop - start) * B`` records
+        of buffer memory (:func:`~repro.em.streams.scan_chunks` does
+        this automatically).
+        """
+        self._check_live()
+        if not 0 <= start <= stop <= len(self._block_ids):
+            raise FileError(
+                f"block range [{start}, {stop}) invalid for "
+                f"{len(self._block_ids)}-block file"
+            )
+        return self.machine.disk.read_many(self._block_ids[start:stop])
+
+    def append_blocks(self, data: np.ndarray) -> None:
+        """Append ``ceil(len(data)/B)`` new blocks in one batched call.
+
+        All new blocks are full except possibly the last — the same
+        layout (and the same one-write-per-block model cost) as
+        repeatedly calling :meth:`append_block` with ``B``-record
+        slices.  Like :meth:`append_block`, requires the current last
+        block to be full.
+        """
+        self._check_live()
+        if data.dtype != RECORD_DTYPE:
+            raise FileError("EMFile stores record arrays only")
+        B = self.machine.B
+        if self._block_ids and self._length != len(self._block_ids) * B:
+            raise FileError("cannot append: last block is partially full")
+        if len(data) == 0:
+            return
+        nblocks = -(-len(data) // B)
+        ids = self.machine.disk.allocate(nblocks)
+        try:
+            self.machine.disk.write_many(ids, data)
+        except BaseException:
+            self.machine.disk.free(ids)  # don't leak on a failed write
+            raise
+        self._block_ids.extend(ids)
         self._length += len(data)
 
     def iter_blocks(self) -> Iterator[np.ndarray]:

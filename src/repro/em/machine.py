@@ -109,7 +109,7 @@ class MemoryAccountant:
         if size < 0:
             raise ValueError("lease size must be >= 0")
         if self._in_use + size > self._capacity:
-            raise MemoryBudgetError(size, self._in_use, self._capacity)
+            raise MemoryBudgetError(size, self._in_use, self._capacity, label)
         self._in_use += size
         self._peak = max(self._peak, self._in_use)
         return MemoryLease(self, size, label)
@@ -119,7 +119,11 @@ class MemoryAccountant:
             raise ValueError("lease size must be >= 0")
         delta = new_size - lease._size
         if self._in_use + delta > self._capacity:
-            raise MemoryBudgetError(delta, self._in_use, self._capacity)
+            # Report the requested *new size* (not the delta, which can
+            # even be negative) and which lease asked for it.
+            raise MemoryBudgetError(
+                new_size, self._in_use, self._capacity, lease.label
+            )
         self._in_use += delta
         self._peak = max(self._peak, self._in_use)
         lease._size = new_size

@@ -37,6 +37,24 @@ class TestAllocation:
         with pytest.raises(BadBlockError):
             d.free([bid])
 
+    def test_free_is_atomic_on_bad_id(self):
+        # Regression: a bad id mid-list used to leave earlier blocks
+        # already deleted; now nothing is freed unless every id is valid.
+        d = Disk(8)
+        ids = d.allocate(3)
+        with pytest.raises(BadBlockError):
+            d.free([ids[0], 10_000, ids[1]])
+        assert d.live_blocks == 3
+        for bid in ids:
+            d.peek(bid)  # still allocated
+
+    def test_free_rejects_duplicate_ids_atomically(self):
+        d = Disk(8)
+        ids = d.allocate(2)
+        with pytest.raises(BadBlockError):
+            d.free([ids[0], ids[1], ids[0]])
+        assert d.live_blocks == 2
+
     def test_peak_blocks(self):
         d = Disk(8)
         ids = d.allocate(4)
@@ -169,6 +187,29 @@ class TestCounting:
         with d.uncounted():
             d.read(ids[1])
         assert d.read_block_ids == {ids[0]}
+
+    def test_reset_counters_fences_active_trace(self):
+        # Regression: reset_counters used to leave pre-reset entries in
+        # an active trace, mixing two measurement windows.
+        d = Disk(8)
+        ids = d.allocate(2)
+        for bid in ids:
+            with d.uncounted():
+                d.write(bid, blk(1))
+        d.start_trace()
+        d.read(ids[0])
+        d.reset_counters()
+        d.read(ids[1])
+        assert d.stop_trace() == [("r", ids[1])]
+
+    def test_reset_counters_without_trace_stays_untraced(self):
+        d = Disk(8)
+        (bid,) = d.allocate(1)
+        with d.uncounted():
+            d.write(bid, blk(1))
+        d.reset_counters()
+        d.read(bid)
+        assert d.stop_trace() == []
 
     def test_snapshot_is_frozen(self):
         d = Disk(8)

@@ -33,22 +33,42 @@ class InjectedFault(Exception):
 
 
 def arm_fault(machine: Machine, fail_at: int) -> None:
-    """Make the ``fail_at``-th counted I/O (1-based) raise InjectedFault."""
+    """Make the ``fail_at``-th counted I/O (1-based) raise InjectedFault.
+
+    A batched call counts as one tick per block, so a fault can land in
+    the middle of a ``read_many``/``write_many`` batch (the whole batch
+    then fails, before any accounting — the disk's batches are atomic).
+    """
     disk = machine.disk
     counter = itertools.count(1)
     orig_read, orig_write = disk.read, disk.write
+    orig_read_many, orig_write_many = disk.read_many, disk.write_many
+
+    def hits(k):
+        return any(next(counter) == fail_at for _ in range(k))
 
     def read(bid):
-        if disk._counting and next(counter) == fail_at:
+        if disk._counting and hits(1):
             raise InjectedFault
         return orig_read(bid)
 
     def write(bid, data):
-        if disk._counting and next(counter) == fail_at:
+        if disk._counting and hits(1):
             raise InjectedFault
         return orig_write(bid, data)
 
+    def read_many(bids):
+        if disk._counting and hits(len(bids)):
+            raise InjectedFault
+        return orig_read_many(bids)
+
+    def write_many(bids, data):
+        if disk._counting and hits(len(bids)):
+            raise InjectedFault
+        return orig_write_many(bids, data)
+
     disk.read, disk.write = read, write
+    disk.read_many, disk.write_many = read_many, write_many
 
 
 ALGORITHMS = {

@@ -82,6 +82,29 @@ class TestAccountant:
             lease.resize(60)
         assert lease.size == 10
 
+    def test_resize_error_reports_new_size_and_label(self):
+        # Regression: the error used to report the resize *delta* as the
+        # requested size (even a negative number for shrinking leases),
+        # not the requested new size or which lease asked.
+        acc = MemoryAccountant(100)
+        acc.lease(50)
+        lease = acc.lease(10, "gather")
+        with pytest.raises(MemoryBudgetError) as ei:
+            lease.resize(60)
+        assert ei.value.requested == 60
+        assert ei.value.in_use == 60
+        assert ei.value.capacity == 100
+        assert ei.value.label == "gather"
+        assert "gather" in str(ei.value)
+        assert " 60 " in str(ei.value)
+
+    def test_lease_error_carries_label(self):
+        acc = MemoryAccountant(100)
+        with pytest.raises(MemoryBudgetError) as ei:
+            acc.lease(200, "huge-buffer")
+        assert ei.value.label == "huge-buffer"
+        assert "huge-buffer" in str(ei.value)
+
     def test_resize_after_release_fails(self):
         acc = MemoryAccountant(100)
         lease = acc.lease(10)

@@ -58,6 +58,24 @@ class TestBlockReader:
         with pytest.raises(StreamError):
             next(it)
 
+    def test_close_mid_iteration_releases_lease_immediately(self, mach):
+        f = EMFile.from_records(mach, recs(20))
+        reader = BlockReader(f)
+        it = iter(reader)
+        next(it)
+        assert mach.memory.in_use == mach.B
+        reader.close()
+        assert mach.memory.in_use == 0
+        reader.close()  # idempotent
+        assert mach.memory.in_use == 0
+
+    def test_break_out_of_with_block_releases_lease(self, mach):
+        f = EMFile.from_records(mach, recs(40))
+        with BlockReader(f) as reader:
+            for _ in reader:
+                break
+        assert mach.memory.in_use == 0
+
 
 class TestBlockWriter:
     def test_accumulates_into_blocks(self, mach):
@@ -137,6 +155,51 @@ class TestScanChunks:
         assert mach.memory.in_use == 16
         gen.close()
         assert mach.memory.in_use == 0
+
+    def test_break_releases_lease_deterministically(self, mach):
+        # Regression: a caller that broke out of the loop used to hold
+        # the chunk lease until the generator happened to be GC'd; the
+        # context-manager form releases it at the `with` exit, always.
+        f = EMFile.from_records(mach, recs(50))
+        with scan_chunks(f, 16) as chunks:
+            for chunk in chunks:
+                assert mach.memory.in_use == 16
+                break
+        assert mach.memory.in_use == 0
+
+    def test_exception_inside_with_releases_lease(self, mach):
+        f = EMFile.from_records(mach, recs(50))
+        with pytest.raises(RuntimeError):
+            with scan_chunks(f, 16) as chunks:
+                for _ in chunks:
+                    raise RuntimeError("boom")
+        assert mach.memory.in_use == 0
+
+    def test_exhaustion_releases_lease(self, mach):
+        f = EMFile.from_records(mach, recs(50))
+        scanner = scan_chunks(f, 16)
+        list(scanner)
+        assert scanner.closed
+        assert mach.memory.in_use == 0
+
+    def test_close_mid_scan_then_next_stops(self, mach):
+        f = EMFile.from_records(mach, recs(50))
+        scanner = scan_chunks(f, 16)
+        it = iter(scanner)
+        next(it)
+        scanner.close()
+        with pytest.raises(StopIteration):
+            next(it)
+        assert mach.memory.in_use == 0
+
+    def test_scan_io_count_unchanged_by_batching(self, mach):
+        f = EMFile.from_records(mach, recs(50), counted=False)
+        mach.reset_counters()
+        with scan_chunks(f, 16) as chunks:
+            total = sum(len(c) for c in chunks)
+        assert total == 50
+        assert mach.io.reads == f.num_blocks
+        assert mach.io.writes == 0
 
 
 class TestMergeSortedFiles:
