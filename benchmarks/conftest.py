@@ -9,6 +9,7 @@ the rendered paper-style table to ``benchmarks/out/<id>.txt``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -26,7 +27,13 @@ def run_experiment_benchmark(benchmark, exp_id: str):
     result = benchmark.pedantic(lambda: exp(quick=quick), rounds=1, iterations=1)
     OUT_DIR.mkdir(exist_ok=True)
     rendered = result.render()
-    (OUT_DIR / f"{exp_id.replace('.', '_')}.txt").write_text(rendered + "\n")
+    safe_id = exp_id.replace(".", "_")
+    (OUT_DIR / f"{safe_id}.txt").write_text(rendered + "\n")
+    # Machine-readable companion (same schema as the runner's records),
+    # so benchmark trajectories can diff numbers instead of prose.
+    (OUT_DIR / f"{safe_id}.json").write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n"
+    )
     benchmark.extra_info["experiment"] = exp_id
     benchmark.extra_info["mode"] = "quick" if quick else "full"
     benchmark.extra_info["checks"] = {name: ok for name, ok in result.checks}

@@ -1,0 +1,89 @@
+"""Wall-clock benchmark of the parallel, cached experiment runner.
+
+Measures the full ``--quick`` experiment sweep three ways — serial
+(``jobs=1``, cache off), parallel (``jobs=4``, cold cache), and a second
+fully cached invocation — verifies that all three produce byte-identical
+EXPERIMENTS.md content, and records the measured speedups in
+``benchmarks/out/HARNESS_PARALLEL.txt``.
+
+The parallel speedup is only asserted when the host actually has >= 4
+CPUs (a process pool cannot beat serial execution on a single core);
+the cache speedup is hardware-independent and always asserted.
+
+Run directly (not part of tier-1):
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_harness_parallel.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.report_all import DEFAULT_ORDER, generate_experiments_md
+from repro.experiments.runner import run_experiments
+
+OUT_DIR = Path(__file__).parent / "out"
+JOBS = 4
+
+
+def _timed(**kwargs):
+    t0 = time.perf_counter()
+    records = run_experiments(DEFAULT_ORDER, quick=True, **kwargs)
+    return records, time.perf_counter() - t0
+
+
+def test_parallel_and_cached_report_speedup(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    serial, t_serial = _timed(jobs=1, cache=False)
+    parallel, t_parallel = _timed(jobs=JOBS, cache=True, cache_dir=cache_dir)
+    cached, t_cached = _timed(jobs=JOBS, cache=True, cache_dir=cache_dir)
+
+    assert all(r.passed for r in serial + parallel + cached)
+    # The cached invocation must rerun zero experiments.
+    assert all(r.cached for r in cached)
+    assert all(not r.cached for r in serial + parallel)
+
+    # The rendered document is a pure function of the results: serial,
+    # parallel and cached runs all produce byte-identical markdown.
+    docs = [
+        generate_experiments_md(
+            quick=True, results=[r.to_result() for r in records]
+        )[0]
+        for records in (serial, parallel, cached)
+    ]
+    assert docs[0] == docs[1] == docs[2]
+
+    cores = os.cpu_count() or 1
+    speedup_parallel = t_serial / t_parallel
+    speedup_cached = t_serial / t_cached
+    lines = [
+        "Experiment harness: parallel + cached runner vs serial",
+        f"(quick sweeps, {len(DEFAULT_ORDER)} experiments, "
+        f"{cores} CPU(s) available)",
+        "",
+        f"serial   jobs=1            : {t_serial:8.2f} s",
+        f"parallel jobs={JOBS} cold cache : {t_parallel:8.2f} s "
+        f"({speedup_parallel:.2f}x vs serial)",
+        f"cached   jobs={JOBS} warm cache : {t_cached:8.2f} s "
+        f"({speedup_cached:.1f}x vs serial, 0/{len(DEFAULT_ORDER)} "
+        "experiments rerun)",
+        "",
+        "EXPERIMENTS.md content byte-identical across all three runs.",
+        f"Parallel speedup asserted >= 2x only when >= {JOBS} CPUs are "
+        f"available (this host: {cores}).",
+    ]
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "HARNESS_PARALLEL.txt").write_text("\n".join(lines) + "\n")
+    print("\n".join(lines))
+
+    assert speedup_cached >= 2.0, (
+        f"cached report only {speedup_cached:.2f}x faster than serial"
+    )
+    if cores >= JOBS:
+        assert speedup_parallel >= 2.0, (
+            f"parallel report only {speedup_parallel:.2f}x faster than "
+            f"serial on {cores} CPUs"
+        )

@@ -59,6 +59,7 @@ MODULES = [
     "repro.apps.load_balance",
     "repro.apps.order_stats",
     "repro.experiments.base",
+    "repro.experiments.runner",
     "repro.experiments.report_all",
 ]
 

@@ -8,16 +8,27 @@ I/O next to the bound formulas.
 
 from __future__ import annotations
 
+import numbers
 from typing import Sequence
+
+import numpy as np
 
 __all__ = ["render_table", "render_kv", "format_value"]
 
 
 def format_value(v) -> str:
-    """Human-friendly cell formatting (floats to 3 significant-ish digits)."""
-    if isinstance(v, bool):
+    """Human-friendly cell formatting (floats to 3 significant-ish digits).
+
+    Numpy scalars format exactly like the equivalent Python scalar, so a
+    value renders the same whether it comes straight out of a sweep or
+    back from the runner's JSON cache.
+    """
+    if isinstance(v, (bool, np.bool_)):
         return "yes" if v else "no"
-    if isinstance(v, float):
+    if isinstance(v, numbers.Integral):
+        return f"{int(v):,}"
+    if isinstance(v, numbers.Real):
+        v = float(v)
         if v == 0:
             return "0"
         if abs(v) >= 1000:
@@ -25,8 +36,6 @@ def format_value(v) -> str:
         if abs(v) >= 10:
             return f"{v:.1f}"
         return f"{v:.3f}"
-    if isinstance(v, int):
-        return f"{v:,}"
     return str(v)
 
 

@@ -4,9 +4,13 @@ Subcommands:
 
 ``repro list``
     List the registered experiments (one per paper claim).
-``repro run [EXP_ID ...] [--full] [--out DIR]``
-    Run experiments and print their measured-vs-bound tables; optionally
-    write each rendered table to ``DIR/<id>.txt``.
+``repro run [EXP_ID ...] [--full] [--out DIR] [--jobs N]``
+    Run experiments (in parallel with ``--jobs``) and print their
+    measured-vs-bound tables; optionally write each rendered table to
+    ``DIR/<id>.txt``.
+``repro report [--quick] [--jobs N] [--no-cache] [--json PATH]``
+    Run every experiment through the parallel, cached runner and write
+    EXPERIMENTS.md plus machine-readable ``results.json``.
 ``repro demo``
     A 30-second tour: quickstart-style run of the headline algorithms.
 ``repro bounds --n N --k K --a A --b B [--memory M] [--block B]``
@@ -38,29 +42,39 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from .experiments import all_experiments, get_experiment
+def _progress_line(rec) -> None:
+    state = "cached" if rec.cached else f"{rec.wall_s:.1f}s"
+    verdict = "PASS" if rec.passed else "FAIL"
+    print(f"  {rec.exp_id:8s} {state:>8s}  {verdict}", flush=True)
 
-    experiments = (
-        [get_experiment(e) for e in args.exp_ids]
-        if args.exp_ids
-        else all_experiments()
-    )
+
+def _cmd_run(args) -> int:
+    from .experiments import all_experiments
+    from .experiments.runner import run_experiments
+
+    ids = args.exp_ids or [e.exp_id for e in all_experiments()]
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    records = run_experiments(
+        ids,
+        quick=not args.full,
+        jobs=args.jobs,
+        cache=False,
+        progress=_progress_line if len(ids) > 1 else None,
+    )
+    # Render in request order; a crashed experiment becomes a FAIL table
+    # (and a non-zero exit) without suppressing the others' output files.
     all_ok = True
-    for exp in experiments:
-        t0 = time.time()
-        result = exp(quick=not args.full)
-        rendered = result.render()
+    for rec in records:
+        rendered = rec.to_result().render()
         print(rendered)
-        print(f"({time.time() - t0:.1f}s)\n")
+        print(f"({rec.wall_s:.1f}s)\n")
         if out_dir:
-            (out_dir / f"{exp.exp_id.replace('.', '_')}.txt").write_text(
+            (out_dir / f"{rec.exp_id.replace('.', '_')}.txt").write_text(
                 rendered + "\n"
             )
-        all_ok &= result.passed
+        all_ok &= rec.passed
     return 0 if all_ok else 1
 
 
@@ -132,41 +146,88 @@ def _cmd_solve(args) -> int:
 
     if args.trace:
         machine.disk.start_trace()
-    with machine.measure() as cost:
-        if args.problem == "splitters":
-            result = approximate_splitters(machine, file, args.k, a, b)
-            check_splitters(records, result.splitters, a, b, args.k)
-            outcome = f"{len(result.splitters)} splitters ({result.variant})"
-        elif args.problem == "partition":
-            pf = approximate_partition(machine, file, args.k, a, b)
-            sizes = check_partitioned(records, pf, a, b, args.k)
-            outcome = (
-                f"{args.k} partitions, sizes in "
-                f"[{min(sizes)}, {max(sizes)}]"
+    pf = None
+    try:
+        with machine.measure() as cost:
+            if args.problem == "splitters":
+                result = approximate_splitters(machine, file, args.k, a, b)
+                check_splitters(records, result.splitters, a, b, args.k)
+                outcome = f"{len(result.splitters)} splitters ({result.variant})"
+            elif args.problem == "partition":
+                pf = approximate_partition(machine, file, args.k, a, b)
+                sizes = check_partitioned(records, pf, a, b, args.k)
+                outcome = (
+                    f"{args.k} partitions, sizes in "
+                    f"[{min(sizes)}, {max(sizes)}]"
+                )
+            else:  # multiselect
+                ranks = np.linspace(1, args.n, args.k).astype(np.int64)
+                answers = multi_select(machine, file, ranks)
+                check_multiselect(records, ranks, answers)
+                outcome = f"{args.k} ranks selected"
+
+        print(f"\n{args.problem}: {outcome} — verified ✓")
+        print(f"simulated I/O: {cost.total:,} "
+              f"(one scan = {args.n // machine.B:,}); "
+              f"comparisons: {machine.comparisons:,}")
+        print(f"memory peak: {machine.memory.peak} / {machine.M}\n")
+        print(render_phase_breakdown(cost))
+        if args.trace:
+            from .analysis import access_stats
+
+            s = access_stats(machine.disk.stop_trace())
+            print(
+                f"\naccess pattern: read sequentiality "
+                f"{s.read_sequentiality:.2f} "
+                f"(mean run {s.read_mean_run:.1f} blocks), "
+                f"write sequentiality {s.write_sequentiality:.2f}"
             )
+        return 0
+    except Exception as exc:
+        print(f"solve failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        # Lifecycle hygiene even when the algorithm or a verification
+        # check raises mid-measure: close the trace window and release
+        # every file this command allocated.
+        if machine.disk.tracing:
+            machine.disk.stop_trace()
+        if pf is not None:
             pf.free()
-        else:  # multiselect
-            ranks = np.linspace(1, args.n, args.k).astype(np.int64)
-            answers = multi_select(machine, file, ranks)
-            check_multiselect(records, ranks, answers)
-            outcome = f"{args.k} ranks selected"
+        file.free()
 
-    print(f"\n{args.problem}: {outcome} — verified ✓")
-    print(f"simulated I/O: {cost.total:,} "
-          f"(one scan = {args.n // machine.B:,}); "
-          f"comparisons: {machine.comparisons:,}")
-    print(f"memory peak: {machine.memory.peak} / {machine.M}\n")
-    print(render_phase_breakdown(cost))
-    if args.trace:
-        from .analysis import access_stats
 
-        s = access_stats(machine.disk.stop_trace())
-        print(
-            f"\naccess pattern: read sequentiality {s.read_sequentiality:.2f} "
-            f"(mean run {s.read_mean_run:.1f} blocks), "
-            f"write sequentiality {s.write_sequentiality:.2f}"
-        )
-    return 0
+def _cmd_report(args) -> int:
+    from .experiments.report_all import DEFAULT_ORDER, generate_experiments_md
+    from .experiments.runner import (
+        default_out_dir,
+        run_experiments,
+        write_results_json,
+    )
+
+    t0 = time.time()
+    records = run_experiments(
+        DEFAULT_ORDER,
+        quick=args.quick,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=_progress_line,
+    )
+    text, ok = generate_experiments_md(
+        quick=args.quick, results=[rec.to_result() for rec in records]
+    )
+    out = Path(args.out)
+    out.write_text(text + "\n")
+    json_path = Path(args.json) if args.json else default_out_dir() / "results.json"
+    write_results_json(records, json_path, jobs=args.jobs)
+    ran = sum(not rec.cached for rec in records)
+    print(
+        f"wrote {out} and {json_path} in {time.time() - t0:.1f}s "
+        f"({ran} run, {len(records) - ran} cached; "
+        f"{'all experiments PASS' if ok else 'FAILURES present'})"
+    )
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -186,6 +247,10 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("exp_ids", nargs="*", help="experiment ids (default: all)")
     run_p.add_argument("--full", action="store_true", help="full sweeps")
     run_p.add_argument("--out", help="directory for rendered tables")
+    run_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = in-process, serial)",
+    )
 
     sub.add_parser("demo", help="30-second tour of the headline algorithms")
 
@@ -202,6 +267,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     report_p.add_argument("--quick", action="store_true", help="quick sweeps")
     report_p.add_argument("--out", default="EXPERIMENTS.md")
+    report_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = in-process, serial)",
+    )
+    report_p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and bypass the result cache (force recomputation)",
+    )
+    report_p.add_argument(
+        "--json", nargs="?", const="", default=None, metavar="PATH",
+        help=(
+            "where to write machine-readable results "
+            "(default benchmarks/out/results.json; always written)"
+        ),
+    )
+    report_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default benchmarks/out/cache)",
+    )
 
     solve_p = sub.add_parser("solve", help="run one algorithm and verify it")
     solve_p.add_argument(
@@ -234,11 +318,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "report":
-        from .experiments.report_all import write_experiments_md
-
-        path, ok = write_experiments_md(args.out, quick=args.quick)
-        print(f"wrote {path} ({'all experiments PASS' if ok else 'FAILURES present'})")
-        return 0 if ok else 1
+        return _cmd_report(args)
     parser.print_help()
     return 2
 

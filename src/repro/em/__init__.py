@@ -18,7 +18,7 @@ from .errors import (
     StreamError,
 )
 from .file import EMFile
-from .machine import Machine, MemoryAccountant, MemoryLease
+from .machine import Machine, MemoryAccountant, MemoryLease, observe_machines
 from .records import (
     KEY_MAX,
     KEY_MIN,
@@ -45,6 +45,7 @@ __all__ = [
     "Machine",
     "MemoryAccountant",
     "MemoryLease",
+    "observe_machines",
     "Disk",
     "IOCounters",
     "EMFile",

@@ -84,6 +84,12 @@ class Disk:
         self._origin: dict[int, tuple[np.ndarray, int]] = {}
         self._next_id = 0
         self._counters = IOCounters()
+        # Cumulative reads/writes over the disk's whole life, *never*
+        # cleared by :meth:`reset_counters` — experiments reset the live
+        # counters per sweep point, so harness-level resource reporting
+        # (the runner's per-experiment records) reads these instead.
+        # Only the totals are tracked; ``by_phase`` stays empty.
+        self._lifetime = IOCounters()
         self._phase_stack: list[str] = []
         self._counting = True
         # Lifetime high-water mark of live blocks, for space accounting.
@@ -118,6 +124,23 @@ class Disk:
     def peak_blocks(self) -> int:
         """High-water mark of allocated blocks (disk-space usage)."""
         return self._peak_blocks
+
+    @property
+    def lifetime(self) -> IOCounters:
+        """Cumulative I/O counters over the disk's whole life.
+
+        Unlike :attr:`counters`, these survive :meth:`reset_counters`
+        (only totals are tracked; ``by_phase`` stays empty).  The
+        experiment runner sums them across every machine an experiment
+        builds to report true per-run I/O totals.
+        """
+        return self._lifetime
+
+    @property
+    def tracing(self) -> bool:
+        """True while an access trace is being recorded (between
+        :meth:`start_trace` and :meth:`stop_trace`)."""
+        return self._trace is not None
 
     def snapshot(self) -> IOCounters:
         """Return a frozen copy of the counters."""
@@ -165,7 +188,8 @@ class Disk:
         return trace
 
     def reset_counters(self) -> None:
-        """Zero all counters (does not touch stored blocks).
+        """Zero all counters (does not touch stored blocks or the
+        :attr:`lifetime` totals).
 
         If an access trace is active it is cleared as well, so a
         subsequent :meth:`stop_trace` returns only post-reset accesses —
@@ -183,9 +207,11 @@ class Disk:
         r, w = self._counters.by_phase.get(label, (0, 0))
         if read:
             self._counters.reads += count
+            self._lifetime.reads += count
             self._counters.by_phase[label] = (r + count, w)
         else:
             self._counters.writes += count
+            self._lifetime.writes += count
             self._counters.by_phase[label] = (r, w + count)
 
     # ------------------------------------------------------------------

@@ -14,12 +14,33 @@ keeps the whole input in a Python list would fail its lease.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .disk import Disk, IOCounters
 from .errors import LeaseError, MemoryBudgetError
 
-__all__ = ["Machine", "MemoryAccountant", "MemoryLease"]
+__all__ = ["Machine", "MemoryAccountant", "MemoryLease", "observe_machines"]
+
+#: Callbacks invoked with every newly constructed :class:`Machine` while an
+#: :func:`observe_machines` context is active.
+_observers: list[Callable[["Machine"], None]] = []
+
+
+@contextmanager
+def observe_machines(callback: Callable[["Machine"], None]) -> Iterator[None]:
+    """Invoke ``callback(machine)`` for every Machine built in the body.
+
+    The experiment runner uses this to collect every machine an
+    experiment constructs and aggregate their lifetime resource usage
+    (I/Os, comparisons, memory/disk peaks) without the experiments
+    having to report anything themselves.  Reentrant; observing is
+    per-process (workers observe their own machines).
+    """
+    _observers.append(callback)
+    try:
+        yield
+    finally:
+        _observers.remove(callback)
 
 
 class MemoryLease:
@@ -161,6 +182,9 @@ class Machine:
         self.disk = Disk(block)
         self.memory = MemoryAccountant(memory)
         self._comparisons = 0
+        self._lifetime_comparisons = 0
+        for cb in list(_observers):
+            cb(self)
 
     # ------------------------------------------------------------------
     # Model parameters
@@ -211,11 +235,20 @@ class Machine:
         model's CPU cost; see :mod:`repro.em.comparisons`)."""
         return self._comparisons
 
+    @property
+    def lifetime_comparisons(self) -> int:
+        """Cumulative comparisons over the machine's whole life — the
+        analogue of :attr:`Disk.lifetime`, preserved across
+        :meth:`reset_counters`."""
+        return self._lifetime_comparisons
+
     def charge_comparisons(self, count: float) -> None:
         """Add ``count`` comparisons (rounded up) to the CPU counter."""
         import math
 
-        self._comparisons += int(math.ceil(count))
+        charge = int(math.ceil(count))
+        self._comparisons += charge
+        self._lifetime_comparisons += charge
 
     def reset_counters(self) -> None:
         self.disk.reset_counters()

@@ -14,6 +14,13 @@ from .base import (
     register,
     wide_machine,
 )
+from .runner import (
+    RunRecord,
+    run_experiments,
+    run_one,
+    source_tree_hash,
+    write_results_json,
+)
 
 # Import for side effect: experiment registration.
 from . import (  # noqa: F401  (registration imports)
@@ -32,10 +39,15 @@ from . import (  # noqa: F401  (registration imports)
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "RunRecord",
     "all_experiments",
     "get_experiment",
     "measure_io",
     "narrow_machine",
     "wide_machine",
     "register",
+    "run_experiments",
+    "run_one",
+    "source_tree_hash",
+    "write_results_json",
 ]

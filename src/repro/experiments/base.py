@@ -14,8 +14,11 @@ the full runs are what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from ..em.machine import Machine
 from ..analysis.report import render_kv, render_table
@@ -35,6 +38,25 @@ __all__ = [
 _REGISTRY: dict[str, "Experiment"] = {}
 
 
+def _plain(value):
+    """Coerce one table cell to a plain JSON-serializable Python scalar.
+
+    Numpy scalars (``np.float64``, ``np.int64``, ``np.bool_``) leak into
+    sweep rows naturally; coercing here makes ``to_dict`` output stable
+    so a result renders byte-identically whether it came straight from
+    the experiment, through a worker process, or out of the JSON cache.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    return str(value)
+
+
 @dataclass
 class ExperimentResult:
     """Outcome of one experiment run."""
@@ -51,6 +73,38 @@ class ExperimentResult:
     def passed(self) -> bool:
         """True iff every shape check holds."""
         return all(ok for _, ok in self.checks)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable dict; inverse of :meth:`from_dict`.
+
+        Cell values are coerced to plain Python scalars so the same
+        result renders byte-identically before and after a JSON
+        round-trip (workers, the result cache, and ``results.json`` all
+        share this format).
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": [[_plain(v) for v in row] for row in self.rows],
+            "checks": [[name, bool(ok)] for name, ok in self.checks],
+            "notes": list(self.notes),
+            "passed": self.passed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (JSON-safe)."""
+        return cls(
+            exp_id=d["exp_id"],
+            title=d["title"],
+            claim=d["claim"],
+            headers=list(d["headers"]),
+            rows=[tuple(row) for row in d["rows"]],
+            checks=[(name, bool(ok)) for name, ok in d["checks"]],
+            notes=list(d["notes"]),
+        )
 
     def render(self) -> str:
         out = [
@@ -71,7 +125,14 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered experiment: id, description, and its runner."""
+    """A registered experiment: id, description, and its runner.
+
+    The call convention is *positional*: ``run`` is invoked as
+    ``run(quick)`` everywhere (the CLI, the benchmarks, and the
+    process-pool workers of :mod:`repro.experiments.runner` all go
+    through :meth:`__call__`), so registered functions must accept
+    ``quick`` as their first positional parameter.
+    """
 
     exp_id: str
     title: str

@@ -4,16 +4,26 @@
 registered experiment and writes the measured-vs-bound document — the
 same file checked into the repository, so the recorded results are
 reproducible by one command.
+
+Experiments execute through :mod:`repro.experiments.runner` (parallel
+fan-out and result caching); this module owns only the presentation —
+ordering, commentary, and rendering.  The document is a pure function of
+the results, so a parallel run renders byte-identically to a serial one.
 """
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
+from typing import Callable, Sequence
 
 from .base import ExperimentResult, all_experiments
 
-__all__ = ["COMMENTARY", "generate_experiments_md", "write_experiments_md"]
+__all__ = [
+    "COMMENTARY",
+    "DEFAULT_ORDER",
+    "generate_experiments_md",
+    "write_experiments_md",
+]
 
 #: Per-experiment "paper claim vs what we measured" commentary, keyed by
 #: experiment id.  Experiments without an entry get a generic header.
@@ -188,19 +198,63 @@ _FOOTER = """## Reading guide
 """
 
 
-def generate_experiments_md(quick: bool = False, order: list[str] | None = None) -> tuple[str, bool]:
-    """Run every experiment and return ``(markdown, all_passed)``."""
-    exps = all_experiments()
-    if order:
-        by_id = {e.exp_id: e for e in exps}
-        exps = [by_id[i] for i in order if i in by_id] + [
-            e for e in exps if not order or e.exp_id not in order
-        ]
+def _ordered(
+    items: list, ids: list[str], order: Sequence[str] | None, what: str
+) -> list:
+    """Reorder ``items`` (parallel to ``ids``) by ``order``; unknown ids
+    in ``order`` raise so a typo can't silently drop an experiment from
+    the document."""
+    if not order:
+        return items
+    by_id = dict(zip(ids, items))
+    unknown = [i for i in order if i not in by_id]
+    if unknown:
+        raise KeyError(
+            f"order names unknown {what}: {', '.join(unknown)}; "
+            f"known: {', '.join(ids)}"
+        )
+    return [by_id[i] for i in order] + [
+        item for item, exp_id in zip(items, ids) if exp_id not in set(order)
+    ]
+
+
+def generate_experiments_md(
+    quick: bool = False,
+    order: list[str] | None = None,
+    *,
+    results: Sequence[ExperimentResult] | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | Path | None = None,
+    progress: Callable | None = None,
+) -> tuple[str, bool]:
+    """Render the document and return ``(markdown, all_passed)``.
+
+    With ``results`` given, this is a pure rendering step (reordered by
+    ``order``); otherwise every registered experiment is executed via
+    :func:`repro.experiments.runner.run_experiments` with the given
+    ``jobs``/``use_cache``/``progress``.  Ids in ``order`` that don't
+    exist raise ``KeyError`` rather than being silently dropped.
+    """
+    if results is None:
+        from .runner import run_experiments
+
+        all_ids = [e.exp_id for e in all_experiments()]
+        ids = _ordered(all_ids, all_ids, order, "experiments")
+        records = run_experiments(
+            ids,
+            quick=quick,
+            jobs=jobs,
+            cache=use_cache,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        results = [rec.to_result() for rec in records]
+    else:
+        results = _ordered(
+            list(results), [r.exp_id for r in results], order, "results"
+        )
     chunks = [_HEADER]
-    all_ok = True
-    results: list[ExperimentResult] = []
-    for exp in exps:
-        results.append(exp(quick=quick))
     all_ok = all(r.passed for r in results)
     chunks.append(
         f"**Verdict: {sum(r.passed for r in results)}/{len(results)} "
@@ -229,10 +283,29 @@ DEFAULT_ORDER = [
 
 
 def write_experiments_md(
-    path: str | Path, quick: bool = False
+    path: str | Path,
+    quick: bool = False,
+    *,
+    results: Sequence[ExperimentResult] | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | Path | None = None,
+    progress: Callable | None = None,
 ) -> tuple[Path, bool]:
-    """Generate and write the document; returns ``(path, all_passed)``."""
-    text, ok = generate_experiments_md(quick=quick, order=DEFAULT_ORDER)
+    """Generate and write the document; returns ``(path, all_passed)``.
+
+    When ``results`` is supplied their given order is kept; otherwise
+    the registry is run and presented in :data:`DEFAULT_ORDER`.
+    """
+    text, ok = generate_experiments_md(
+        quick=quick,
+        order=None if results is not None else DEFAULT_ORDER,
+        results=results,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     out = Path(path)
     out.write_text(text + "\n")
     return out, ok

@@ -1,9 +1,12 @@
 """Tests for the CLI and the Table 1 renderer."""
 
+import json
+
 import pytest
 
 from repro.bounds.table import render_table1, table1_rows
 from repro.cli import main
+from repro.em.machine import observe_machines
 
 
 class TestTable1:
@@ -60,6 +63,33 @@ class TestCli:
         with pytest.raises(KeyError):
             main(["run", "BOGUS"])
 
+    def test_run_parallel_jobs(self, capsys, tmp_path):
+        rc = main(["run", "T1.R4", "ABL4", "--jobs", "2", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert (tmp_path / "T1_R4.txt").exists()
+        assert (tmp_path / "ABL4.txt").exists()
+
+    def test_run_failure_still_writes_later_tables(self, capsys, tmp_path):
+        from repro.experiments.base import Experiment, _REGISTRY
+
+        def boom(quick=False):
+            raise RuntimeError("forced crash")
+
+        _REGISTRY["ZZ.CRASH"] = Experiment("ZZ.CRASH", "always crashes", boom)
+        try:
+            rc = main(["run", "T1.R4", "ZZ.CRASH", "ABL4", "--out", str(tmp_path)])
+        finally:
+            del _REGISTRY["ZZ.CRASH"]
+        assert rc == 1  # the crash is reported...
+        out = capsys.readouterr().out
+        assert "forced crash" in out
+        # ...but every experiment still got its rendered table written.
+        for name in ("T1_R4.txt", "ZZ_CRASH.txt", "ABL4.txt"):
+            assert (tmp_path / name).exists(), name
+        assert "verdict: PASS" in (tmp_path / "ABL4.txt").read_text()
+
 
 class TestSolve:
     def test_solve_splitters(self, capsys):
@@ -85,6 +115,74 @@ class TestSolve:
         rc = main(["solve", "--problem", "splitters", "--n", "100",
                    "--k", "2", "--workload", "nope"])
         assert rc == 2
+
+    def test_solve_success_releases_all_blocks_and_trace(self):
+        machines = []
+        with observe_machines(machines.append):
+            rc = main(["solve", "--problem", "partition", "--n", "2000",
+                       "--k", "4", "--trace"])
+        assert rc == 0
+        (machine,) = machines
+        assert machine.disk.live_blocks == 0
+        assert not machine.disk.tracing
+
+    def test_solve_failure_releases_all_blocks_and_trace(
+        self, monkeypatch, capsys
+    ):
+        # Regression: a verification failure mid-measure used to leak
+        # the partition output file and leave the access trace running.
+        import repro.analysis
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("forced verification failure")
+
+        monkeypatch.setattr(repro.analysis, "check_partitioned", boom)
+        machines = []
+        with observe_machines(machines.append):
+            rc = main(["solve", "--problem", "partition", "--n", "2000",
+                       "--k", "4", "--trace"])
+        assert rc == 1
+        assert "forced verification failure" in capsys.readouterr().err
+        (machine,) = machines
+        assert machine.disk.live_blocks == 0, "solve leaked disk blocks"
+        assert not machine.disk.tracing, "solve left the trace active"
+
+
+class TestReport:
+    def test_report_quick_writes_doc_and_json_then_serves_from_cache(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "EXPERIMENTS.md"
+        results = tmp_path / "results.json"
+        cache = tmp_path / "cache"
+        argv = ["report", "--quick", "--jobs", "2",
+                "--out", str(out), "--json", str(results),
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        first_doc = out.read_text()
+        assert "paper vs. measured" in first_doc
+        data = json.loads(results.read_text())
+        assert data["passed"] and data["quick"]
+        assert len(data["experiments"]) == 20
+        assert all(not e["cached"] for e in data["experiments"])
+        capsys.readouterr()
+
+        # Second invocation: served entirely from cache, byte-identical.
+        assert main(argv) == 0
+        assert "20 cached" in capsys.readouterr().out
+        assert out.read_text() == first_doc
+        data = json.loads(results.read_text())
+        assert all(e["cached"] for e in data["experiments"])
+
+    def test_report_no_cache_forces_recomputation(self, capsys, tmp_path):
+        # --no-cache must neither read nor populate the cache dir.
+        argv = ["report", "--quick", "--no-cache",
+                "--out", str(tmp_path / "E.md"),
+                "--json", str(tmp_path / "results.json"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert not (tmp_path / "cache").exists()
+        assert "20 run, 0 cached" in capsys.readouterr().out
 
 
 class TestApiDocs:

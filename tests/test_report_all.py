@@ -1,28 +1,26 @@
 """Tests for the EXPERIMENTS.md generator."""
 
+import pytest
+
 from repro.experiments import report_all
-from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.base import ExperimentResult
 
 
-def _fake_experiment(exp_id, passed=True):
-    def run(quick=False):
-        return ExperimentResult(
-            exp_id=exp_id,
-            title=f"fake {exp_id}",
-            claim="a claim",
-            headers=["x", "y"],
-            rows=[(1, 2.0)],
-            checks=[("always", passed)],
-            notes=["a note"],
-        )
-
-    return Experiment(exp_id, f"fake {exp_id}", run)
+def _fake_result(exp_id, passed=True):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"fake {exp_id}",
+        claim="a claim",
+        headers=["x", "y"],
+        rows=[(1, 2.0)],
+        checks=[("always", passed)],
+        notes=["a note"],
+    )
 
 
-def test_generates_document_with_commentary(monkeypatch):
-    fakes = [_fake_experiment("T1.R1"), _fake_experiment("ZZZ")]
-    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
-    text, ok = report_all.generate_experiments_md(quick=True)
+def test_generates_document_with_commentary():
+    results = [_fake_result("T1.R1"), _fake_result("ZZZ")]
+    text, ok = report_all.generate_experiments_md(quick=True, results=results)
     assert ok
     assert "2/2 experiments PASS" in text
     # Known experiment gets its curated commentary; unknown a generic one.
@@ -31,28 +29,63 @@ def test_generates_document_with_commentary(monkeypatch):
     assert "Reading guide" in text
 
 
-def test_failures_reported(monkeypatch):
-    fakes = [_fake_experiment("A", passed=False)]
-    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
-    text, ok = report_all.generate_experiments_md(quick=True)
+def test_failures_reported():
+    results = [_fake_result("A", passed=False)]
+    text, ok = report_all.generate_experiments_md(quick=True, results=results)
     assert not ok
     assert "0/1 experiments PASS" in text
     assert "verdict: FAIL" in text
 
 
-def test_write_experiments_md(tmp_path, monkeypatch):
-    fakes = [_fake_experiment("A")]
-    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
-    out, ok = report_all.write_experiments_md(tmp_path / "E.md", quick=True)
+def test_write_experiments_md(tmp_path):
+    out, ok = report_all.write_experiments_md(
+        tmp_path / "E.md", quick=True, results=[_fake_result("A")]
+    )
     assert ok and out.exists()
     assert "paper vs. measured" in out.read_text()
 
 
-def test_order_respected(monkeypatch):
-    fakes = [_fake_experiment("B"), _fake_experiment("A")]
-    monkeypatch.setattr(report_all, "all_experiments", lambda: fakes)
-    text, _ = report_all.generate_experiments_md(quick=True, order=["A", "B"])
+def test_order_respected():
+    results = [_fake_result("B"), _fake_result("A")]
+    text, _ = report_all.generate_experiments_md(
+        quick=True, order=["A", "B"], results=results
+    )
     assert text.index("fake A") < text.index("fake B")
+
+
+def test_results_not_named_by_order_are_appended():
+    results = [_fake_result("C"), _fake_result("A"), _fake_result("B")]
+    text, _ = report_all.generate_experiments_md(
+        quick=True, order=["A", "B"], results=results
+    )
+    assert text.index("fake A") < text.index("fake B") < text.index("fake C")
+
+
+def test_unknown_order_id_raises_instead_of_dropping():
+    # A typo in the order list must fail loudly, not silently omit an
+    # experiment from the document.
+    with pytest.raises(KeyError, match="ZZTOP"):
+        report_all.generate_experiments_md(
+            quick=True, order=["A", "ZZTOP"], results=[_fake_result("A")]
+        )
+
+
+def test_unknown_order_id_raises_against_registry_too():
+    # Validation happens before any experiment runs, so this is fast.
+    with pytest.raises(KeyError, match="NOT-AN-ID"):
+        report_all.generate_experiments_md(quick=True, order=["NOT-AN-ID"])
+
+
+def test_default_order_exactly_covers_registry():
+    from repro.experiments import all_experiments
+
+    registered = {e.exp_id for e in all_experiments()}
+    order = report_all.DEFAULT_ORDER
+    assert len(order) == len(set(order)), "DEFAULT_ORDER has duplicates"
+    missing = registered - set(order)
+    assert not missing, f"experiments missing from DEFAULT_ORDER: {missing}"
+    stale = set(order) - registered
+    assert not stale, f"DEFAULT_ORDER names unregistered experiments: {stale}"
 
 
 def test_commentary_covers_all_registered_ids():
@@ -62,4 +95,3 @@ def test_commentary_covers_all_registered_ids():
     assert registered <= set(report_all.COMMENTARY), (
         "every registered experiment needs paper-vs-measured commentary"
     )
-    assert set(report_all.DEFAULT_ORDER) == registered
