@@ -55,6 +55,10 @@ MODULES = [
     "repro.analysis.access",
     "repro.analysis.trace",
     "repro.analysis.report",
+    "repro.obs.tracer",
+    "repro.obs.export",
+    "repro.obs.solvers",
+    "repro.obs.budget",
     "repro.apps.histogram",
     "repro.apps.load_balance",
     "repro.apps.order_stats",
@@ -70,6 +74,29 @@ Public surface of the ``repro`` package, generated from docstrings by
 public signature or docstring.  Everything listed here is importable
 from the module shown (most names are also re-exported by the package
 ``__init__`` one level up).
+
+## Command line
+
+``repro`` (or ``python -m repro``) exposes the package on the shell;
+see ``repro <command> --help`` for every flag.
+
+- `repro list` / `repro run` / `repro demo` / `repro bounds` /
+  `repro solve` — run experiments and individual algorithms (see
+  `repro.cli`).
+- `repro report [--quick] [--jobs N] [--check-budgets]` — regenerate
+  EXPERIMENTS.md and `benchmarks/out/results.json`; with
+  `--check-budgets` it additionally runs the I/O-budget regression gate
+  (`repro.obs.budget`) and exits non-zero if any algorithm exceeds its
+  committed envelope.
+- `repro trace ALGORITHM [--out DIR] [--n N] [--k K] ...` — run one
+  registered solver (`repro.obs.solvers`) under the span tracer
+  (`repro.obs.tracer`) and write three artifacts: a Chrome trace-event
+  JSON loadable at <https://ui.perfetto.dev>, a rendered text tree with
+  per-span I/O shares, and the plain-dict span JSON.
+- `repro budgets [--check | --write] [--path FILE] [--headroom H]` —
+  check every registered solver against `benchmarks/budgets.json`, or
+  recalibrate and rewrite the envelopes after an intentional cost
+  change.
 """
 
 

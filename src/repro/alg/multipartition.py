@@ -55,8 +55,9 @@ def multi_partition(machine: "Machine", file: EMFile, sizes: list[int]) -> Parti
             f"sizes sum to {sum(sizes)} but the file holds {len(file)} records"
         )
     boundaries = np.cumsum(sizes)[:-1] if len(sizes) > 1 else np.empty(0, dtype=int)
-    segments = _solve(machine, file, _interior(boundaries, len(file)), owned=False)
-    return _assemble(machine, segments, sizes)
+    with machine.phase("multipartition"):
+        segments = _solve(machine, file, _interior(boundaries, len(file)), owned=False)
+        return _assemble(machine, segments, sizes)
 
 
 def multi_partition_at_ranks(
@@ -99,48 +100,52 @@ def _solve(
 
     limit = machine.load_limit
     if n <= limit:
-        with machine.memory.lease(n, "mp-base"):
-            # The base case only needs the rank *cuts*, not a full sort:
-            # one multi-pivot partition pass, Θ(n·lg k) comparisons [7].
-            data = partition_at_ranks(
-                machine, file.to_numpy(counted=True), ranks
-            )
-        if owned:
-            file.free()
-        pieces: list[EMFile] = []
-        prev = 0
-        for r in list(ranks) + [n]:
-            pieces.append(EMFile.from_records(machine, data[prev:r], counted=True))
-            prev = int(r)
-        return pieces
+        with machine.phase("base"):
+            with machine.memory.lease(n, "mp-base"):
+                # The base case only needs the rank *cuts*, not a full sort:
+                # one multi-pivot partition pass, Θ(n·lg k) comparisons [7].
+                data = partition_at_ranks(
+                    machine, file.to_numpy(counted=True), ranks
+                )
+            if owned:
+                file.free()
+            pieces: list[EMFile] = []
+            prev = 0
+            for r in list(ranks) + [n]:
+                pieces.append(EMFile.from_records(machine, data[prev:r], counted=True))
+                prev = int(r)
+            return pieces
 
     f = max_distribution_fanout(machine)
-    pivots = approx_quantile_pivots(machine, file, f - 1)
-    if len(pivots) == 0:
-        # Degenerate (cannot happen for n > limit, but stay safe): exact
-        # median split via selection guarantees progress.
-        pivots = np.array([select_rank(machine, file, (n + 1) // 2)])
-    buckets = distribute_by_pivots(machine, file, pivots, "mp")
-    if max(len(b) for b in buckets) >= n:
-        # Pivots failed to split (all-equal composites cannot occur, so
-        # this is purely defensive): force an exact median split.
-        for b in buckets:
-            b.free()
-        mid = select_rank(machine, file, (n + 1) // 2)
-        buckets = distribute_by_pivots(machine, file, np.array([mid]), "mp-med")
+    with machine.phase("sample"):
+        pivots = approx_quantile_pivots(machine, file, f - 1)
+        if len(pivots) == 0:
+            # Degenerate (cannot happen for n > limit, but stay safe): exact
+            # median split via selection guarantees progress.
+            pivots = np.array([select_rank(machine, file, (n + 1) // 2)])
+    with machine.phase("distribute"):
+        buckets = distribute_by_pivots(machine, file, pivots, "mp")
+        if max(len(b) for b in buckets) >= n:
+            # Pivots failed to split (all-equal composites cannot occur, so
+            # this is purely defensive): force an exact median split.
+            for b in buckets:
+                b.free()
+            mid = select_rank(machine, file, (n + 1) // 2)
+            buckets = distribute_by_pivots(machine, file, np.array([mid]), "mp-med")
     if owned:
         file.free()
 
     segments: list[EMFile] = []
     offset = 0
-    for bucket in buckets:
-        size = len(bucket)
-        if size == 0:
-            bucket.free()
-            continue
-        local = ranks[(ranks > offset) & (ranks < offset + size)] - offset
-        segments.extend(_solve(machine, bucket, local, owned=True))
-        offset += size
+    with machine.phase("recurse"):
+        for bucket in buckets:
+            size = len(bucket)
+            if size == 0:
+                bucket.free()
+                continue
+            local = ranks[(ranks > offset) & (ranks < offset + size)] - offset
+            segments.extend(_solve(machine, bucket, local, owned=True))
+            offset += size
     return segments
 
 

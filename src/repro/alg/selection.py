@@ -68,7 +68,8 @@ def select_rank(machine: "Machine", file: EMFile, rank: int) -> np.void:
     n = len(file)
     if not 1 <= rank <= n:
         raise SpecError(f"rank {rank} out of range for n={n}")
-    return _select(machine, file, rank, owned=False)
+    with machine.phase("select"):
+        return _select(machine, file, rank, owned=False)
 
 
 def _select(machine: "Machine", file: EMFile, rank: int, owned: bool) -> np.void:
@@ -136,7 +137,8 @@ def select_rank_fast(machine: "Machine", file: EMFile, rank: int) -> np.void:
     n = len(file)
     if not 1 <= rank <= n:
         raise SpecError(f"rank {rank} out of range for n={n}")
-    return _select_fast(machine, file, rank, owned=False)
+    with machine.phase("select-fast"):
+        return _select_fast(machine, file, rank, owned=False)
 
 
 def _select_fast(machine: "Machine", file: EMFile, rank: int, owned: bool) -> np.void:

@@ -38,12 +38,13 @@ def form_runs(machine: "Machine", file: EMFile) -> list[EMFile]:
     """Stage 1: produce sorted runs of up to ``M - 2B`` records each."""
     run_records = machine.load_limit
     runs: list[EMFile] = []
-    with scan_chunks(file, run_records, "run-formation") as chunks:
-        for chunk in chunks:
-            cmp_sort(machine, len(chunk))
-            with BlockWriter(machine, "run") as writer:
-                writer.write(sort_records(chunk))
-                runs.append(writer.close())
+    with machine.phase("run-formation"):
+        with scan_chunks(file, run_records, "run-formation") as chunks:
+            for chunk in chunks:
+                cmp_sort(machine, len(chunk))
+                with BlockWriter(machine, "run") as writer:
+                    writer.write(sort_records(chunk))
+                    runs.append(writer.close())
     return runs
 
 
@@ -60,16 +61,17 @@ def merge_runs(machine: "Machine", runs: list[EMFile], fanout: int | None = None
     current = list(runs)
     while len(current) > 1:
         nxt: list[EMFile] = []
-        for start in range(0, len(current), f):
-            group = current[start : start + f]
-            if len(group) == 1:
-                nxt.append(group[0])
-                continue
-            with BlockWriter(machine, "merge-out") as writer:
-                merge_sorted_files(machine, group, writer)
-                nxt.append(writer.close())
-            for g in group:
-                g.free()
+        with machine.phase("merge-pass"):
+            for start in range(0, len(current), f):
+                group = current[start : start + f]
+                if len(group) == 1:
+                    nxt.append(group[0])
+                    continue
+                with BlockWriter(machine, "merge-out") as writer:
+                    merge_sorted_files(machine, group, writer)
+                    nxt.append(writer.close())
+                for g in group:
+                    g.free()
         current = nxt
     return current[0]
 

@@ -3,7 +3,7 @@
 from .access import AccessStats, access_stats
 from .fit import RatioStats, fit_constant, ratio_stats, theta_match
 from .report import format_value, render_kv, render_table
-from .trace import phase_breakdown, render_phase_breakdown
+from .trace import phase_breakdown, phase_total, render_phase_breakdown
 from .verify import (
     VerificationError,
     check_multiselect,
@@ -24,6 +24,7 @@ __all__ = [
     "render_kv",
     "format_value",
     "phase_breakdown",
+    "phase_total",
     "render_phase_breakdown",
     "VerificationError",
     "check_splitters",

@@ -32,6 +32,12 @@ class AccessStats:
     plus one (similarly for writes); ``mean_run`` is the average length
     of maximal sequential bursts across the whole per-direction
     subsequence.
+
+    Degenerate traces follow a fixed convention: with fewer than two
+    accesses in a direction there are no successor pairs, so its
+    sequentiality is **0.0** (an empty trace is not evidence of
+    sequential behaviour); ``mean_run`` is 0.0 for zero accesses and 1.0
+    for a single access (one burst of length one).
     """
 
     reads: int
@@ -44,7 +50,9 @@ class AccessStats:
 
 def _direction_stats(ids: list[int]) -> tuple[float, float]:
     if len(ids) <= 1:
-        return 1.0, float(len(ids))
+        # No successor pairs -> zero sequentiality (see AccessStats);
+        # mean_run is the number of (length-1) bursts: 0.0 or 1.0.
+        return 0.0, float(len(ids))
     sequential = 0
     runs = 1
     run_lengths = []

@@ -1,9 +1,20 @@
 """Phase-level I/O breakdowns.
 
-The disk tags every I/O with the innermost active phase label (see
-:meth:`repro.em.disk.Disk.phase`); this module turns the per-phase
+The disk tags every I/O with the *joined stack path* of the active
+phases (``"partition/distribute/flush"``; see
+:meth:`repro.em.disk.Disk.phase`); this module turns the per-path
 counters into readable cost breakdowns — where did a composed algorithm
 actually spend its block transfers?
+
+:func:`phase_breakdown` aggregates hierarchically: every path prefix
+gets a row with **inclusive** totals (its own I/Os plus everything
+nested beneath it), emitted in depth-first order with siblings sorted by
+total.  A trace whose labels are all single-level therefore renders
+exactly as it did when labels were flat.  :func:`phase_total` is the
+programmatic form — the inclusive total of one subtree — and is what
+experiment code should use instead of exact-match lookups into
+``by_phase`` (which silently miss I/Os the moment a callee introduces a
+nested phase).
 """
 
 from __future__ import annotations
@@ -16,30 +27,87 @@ from .report import render_table
 if TYPE_CHECKING:  # pragma: no cover
     from ..em.machine import Machine
 
-__all__ = ["phase_breakdown", "render_phase_breakdown"]
+__all__ = ["phase_breakdown", "phase_total", "render_phase_breakdown"]
+
+
+def _inclusive(counters: IOCounters) -> dict[str, tuple[int, int]]:
+    """Inclusive ``(reads, writes)`` per path prefix appearing in
+    ``by_phase`` (the untagged label ``""`` is its own root)."""
+    incl: dict[str, tuple[int, int]] = {}
+    for label, (r, w) in counters.by_phase.items():
+        parts = label.split("/") if label else [""]
+        for i in range(1, len(parts) + 1):
+            prefix = "/".join(parts[:i])
+            pr, pw = incl.get(prefix, (0, 0))
+            incl[prefix] = (pr + r, pw + w)
+    return incl
+
+
+def phase_total(source: "IOCounters | Machine", prefix: str) -> int:
+    """Inclusive I/O total of one phase subtree.
+
+    Sums reads + writes over every ``by_phase`` path equal to ``prefix``
+    or nested beneath it (``prefix + "/..."``).  ``prefix`` itself may be
+    a joined path.  Use this — not ``by_phase[label]`` — to cost a phase:
+    exact-match lookups break as soon as the phase's callees open phases
+    of their own.
+    """
+    counters = source if isinstance(source, IOCounters) else source.snapshot()
+    nested = prefix + "/"
+    return sum(
+        r + w
+        for label, (r, w) in counters.by_phase.items()
+        if label == prefix or label.startswith(nested)
+    )
 
 
 def phase_breakdown(counters: IOCounters) -> list[tuple[str, int, int, int, float]]:
-    """Rows of ``(phase, reads, writes, total, share)`` sorted by total.
+    """Rows of ``(path, reads, writes, total, share)``, depth-first.
 
-    The empty label (I/Os outside any phase) is rendered as
-    ``"(untagged)"``; ``share`` is the fraction of all I/Os.
+    Totals are inclusive of nested phases, siblings sort by total
+    descending, and ``share`` is relative to all I/Os — nested rows
+    overlap their ancestors by design (read it like a flame graph).  The
+    empty label (I/Os outside any phase) is rendered as ``"(untagged)"``.
     """
     grand = counters.total or 1
-    rows = []
-    for label, (r, w) in counters.by_phase.items():
-        rows.append((label or "(untagged)", r, w, r + w, (r + w) / grand))
-    rows.sort(key=lambda row: -row[3])
+    incl = _inclusive(counters)
+    children: dict[str, list[str]] = {}
+    roots: list[str] = []
+    for path in incl:
+        if path and "/" in path:
+            children.setdefault(path.rsplit("/", 1)[0], []).append(path)
+        else:
+            roots.append(path)
+    rows: list[tuple[str, int, int, int, float]] = []
+
+    def emit(paths: list[str]) -> None:
+        for path in sorted(paths, key=lambda p: (-sum(incl[p]), p)):
+            r, w = incl[path]
+            rows.append((path or "(untagged)", r, w, r + w, (r + w) / grand))
+            emit(children.get(path, []))
+
+    emit(roots)
     return rows
 
 
 def render_phase_breakdown(source: "IOCounters | Machine", title: str = "I/O by phase") -> str:
-    """Render the breakdown as a table (accepts a Machine or counters)."""
+    """Render the breakdown as a table (accepts a Machine or counters).
+
+    Nested phases indent under their parent and show only their final
+    path segment.
+    """
     counters = source if isinstance(source, IOCounters) else source.snapshot()
-    rows = [
-        (label, r, w, t, f"{share:.1%}")
-        for label, r, w, t, share in phase_breakdown(counters)
+    labels = [
+        "  " * path.count("/") + path.rsplit("/", 1)[-1]
+        for path, *_ in phase_breakdown(counters)
     ]
-    if not rows:
+    if not labels:
         return f"{title}: no I/O recorded"
+    # Left-justify the (indented) phase column ourselves; render_table
+    # right-justifies cells, which would hide the nesting.
+    width = max(len(label) for label in labels)
+    rows = [
+        (label.ljust(width), r, w, t, f"{share:.1%}")
+        for label, (_, r, w, t, share) in zip(labels, phase_breakdown(counters))
+    ]
     return render_table(["phase", "reads", "writes", "total", "share"], rows, title=title)

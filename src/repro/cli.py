@@ -18,6 +18,13 @@ Subcommands:
 ``repro solve --problem {splitters,partition,multiselect} --n N --k K ...``
     Run one algorithm on a generated workload, verify the output, and
     print measured I/O, comparisons, and the phase breakdown.
+``repro trace ALGORITHM [--out DIR] [--n N] [--k K] ...``
+    Run one registered solver under the span tracer and export the
+    recorded tree three ways: Chrome/Perfetto ``.trace.json``, a
+    rendered text tree, and the plain-dict span JSON.
+``repro budgets [--check | --write] [--path FILE] [--headroom H]``
+    Check every registered solver against its committed I/O envelope
+    (the regression gate), or recalibrate and rewrite the envelopes.
 """
 
 from __future__ import annotations
@@ -197,6 +204,80 @@ def _cmd_solve(args) -> int:
         file.free()
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from .experiments.runner import default_out_dir
+    from .obs import (
+        Tracer,
+        build_instance,
+        render_span_tree,
+        span_rollup,
+        traces_to_dict,
+        write_chrome_trace,
+    )
+
+    overrides = {
+        key: getattr(args, key)
+        for key in ("n", "k", "a", "part_size", "memory", "block", "seed")
+        if getattr(args, key) is not None
+    }
+    solver, machine, file, params = build_instance(args.algorithm, overrides)
+    tracer = Tracer()
+    tracer.attach(machine)
+    try:
+        outcome = solver.run(machine, file, params)
+    finally:
+        file.free()
+        tracer.detach(machine)
+
+    out_dir = Path(args.out) if args.out else default_out_dir() / "traces"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    chrome_path = write_chrome_trace(
+        tracer.traces, out_dir / f"{args.algorithm}.trace.json"
+    )
+    tree = render_span_tree(tracer.traces)
+    tree_path = out_dir / f"{args.algorithm}.tree.txt"
+    tree_path.write_text(tree + "\n")
+    spans_path = out_dir / f"{args.algorithm}.spans.json"
+    spans_path.write_text(
+        json.dumps(
+            {
+                "solver": args.algorithm,
+                "title": solver.title,
+                "params": params,
+                "outcome": outcome,
+                "io": machine.io.total,
+                "comparisons": machine.comparisons,
+                "rollup": span_rollup(tracer.traces),
+                "traces": traces_to_dict(tracer.traces),
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+
+    print(f"{args.algorithm}: {outcome}\n")
+    print(tree)
+    print(
+        f"\nwrote {chrome_path} (load at https://ui.perfetto.dev),\n"
+        f"      {tree_path},\n      {spans_path}"
+    )
+    return 0
+
+
+def _cmd_budgets(args) -> int:
+    from .obs import check_budgets, render_budget_report, write_budgets
+
+    path = args.path
+    if args.write:
+        path = write_budgets(path, headroom=args.headroom)
+        print(f"wrote {path}")
+    checks = check_budgets(path)
+    print(render_budget_report(checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
 def _cmd_report(args) -> int:
     from .experiments.report_all import DEFAULT_ORDER, generate_experiments_md
     from .experiments.runner import (
@@ -227,6 +308,13 @@ def _cmd_report(args) -> int:
         f"({ran} run, {len(records) - ran} cached; "
         f"{'all experiments PASS' if ok else 'FAILURES present'})"
     )
+    if args.check_budgets:
+        from .obs import check_budgets, render_budget_report
+
+        checks = check_budgets()
+        print()
+        print(render_budget_report(checks))
+        ok = ok and all(c.ok for c in checks)
     return 0 if ok else 1
 
 
@@ -286,6 +374,11 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default benchmarks/out/cache)",
     )
+    report_p.add_argument(
+        "--check-budgets", action="store_true",
+        help="also run the I/O-budget regression gate (non-zero exit on "
+        "any exceeded envelope)",
+    )
 
     solve_p = sub.add_parser("solve", help="run one algorithm and verify it")
     solve_p.add_argument(
@@ -306,7 +399,50 @@ def main(argv: list[str] | None = None) -> int:
         help="report access-pattern (sequentiality) statistics",
     )
 
+    from .obs.solvers import SOLVERS
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record and export a span trace of one algorithm",
+    )
+    trace_p.add_argument(
+        "algorithm", choices=sorted(SOLVERS),
+        help="registered solver to trace",
+    )
+    trace_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default benchmarks/out/traces)",
+    )
+    trace_p.add_argument("--n", type=int, default=None)
+    trace_p.add_argument("--k", type=int, default=None)
+    trace_p.add_argument("--a", type=int, default=None)
+    trace_p.add_argument("--part-size", dest="part_size", type=int, default=None)
+    trace_p.add_argument("--memory", type=int, default=None, help="M (records)")
+    trace_p.add_argument("--block", type=int, default=None, help="B (records)")
+    trace_p.add_argument("--seed", type=int, default=None)
+
+    budgets_p = sub.add_parser(
+        "budgets", help="check or recalibrate the I/O-budget envelopes"
+    )
+    budgets_p.add_argument(
+        "--write", action="store_true",
+        help="measure every solver and rewrite the budgets file "
+        "(default: check only)",
+    )
+    budgets_p.add_argument(
+        "--path", default=None, metavar="FILE",
+        help="budgets file (default benchmarks/budgets.json)",
+    )
+    budgets_p.add_argument(
+        "--headroom", type=float, default=None,
+        help="envelope headroom over the measured ratio when writing",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "budgets" and args.headroom is None:
+        from .obs.budget import DEFAULT_HEADROOM
+
+        args.headroom = DEFAULT_HEADROOM
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
@@ -319,6 +455,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "budgets":
+        return _cmd_budgets(args)
     parser.print_help()
     return 2
 

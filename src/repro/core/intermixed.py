@@ -91,7 +91,8 @@ def intermixed_select(machine: "Machine", d_file: EMFile, t: np.ndarray) -> np.n
         raise SpecError("every group must be non-empty")
     if np.any(t < 1) or np.any(t > sizes):
         raise SpecError("target ranks must satisfy 1 <= t_i <= |D_i|")
-    return _solve(machine, d_file, t, owned=False)
+    with machine.phase("intermixed"):
+        return _solve(machine, d_file, t, owned=False)
 
 
 def _solve(machine: "Machine", file: EMFile, t: np.ndarray, owned: bool) -> np.ndarray:

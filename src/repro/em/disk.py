@@ -7,6 +7,16 @@ label (a stack of labels, managed by :meth:`Disk.phase`) so experiments can
 attribute I/Os to algorithm stages, and temporarily suspended with
 :meth:`Disk.uncounted` for setup work that is outside the model (loading
 the input, verification reads).
+
+Phase labels nest: an I/O performed inside ``phase("distribute")`` which
+itself runs inside ``phase("partition")`` is charged to the *joined stack
+path* ``"partition/distribute"``, so composed algorithms can be rolled up
+hierarchically (see :func:`repro.analysis.trace.phase_breakdown`).  I/Os
+outside any phase carry the empty label ``""``.
+
+Observers (see :meth:`Disk.add_observer`) receive a callback per counted
+I/O, per phase push/pop, and per live-block-count change — the span
+tracer of :mod:`repro.obs` is built on these hooks.
 """
 
 from __future__ import annotations
@@ -32,13 +42,21 @@ class IOCounters:
     reads / writes:
         Number of block reads / writes.
     by_phase:
-        ``{label: (reads, writes)}`` broken down by the innermost phase
-        label active at the time of the I/O ("" when none).
+        ``{path: (reads, writes)}`` broken down by the full phase-stack
+        path active at the time of the I/O — nested phases join with
+        ``"/"`` (``"partition/distribute"``), ``""`` when none.
+    comparisons:
+        Key comparisons.  The disk itself never fills this (comparisons
+        are charged on the :class:`~repro.em.machine.Machine`); it is
+        populated by :meth:`Machine.measure
+        <repro.em.machine.Machine.measure>` so one object carries a
+        measurement window's full model cost.
     """
 
     reads: int = 0
     writes: int = 0
     by_phase: dict[str, tuple[int, int]] = field(default_factory=dict)
+    comparisons: int = 0
 
     @property
     def total(self) -> int:
@@ -57,10 +75,13 @@ class IOCounters:
             reads=self.reads - other.reads,
             writes=self.writes - other.writes,
             by_phase=phases,
+            comparisons=self.comparisons - other.comparisons,
         )
 
     def copy(self) -> "IOCounters":
-        return IOCounters(self.reads, self.writes, dict(self.by_phase))
+        return IOCounters(
+            self.reads, self.writes, dict(self.by_phase), self.comparisons
+        )
 
 
 class Disk:
@@ -91,7 +112,13 @@ class Disk:
         # Only the totals are tracked; ``by_phase`` stays empty.
         self._lifetime = IOCounters()
         self._phase_stack: list[str] = []
+        # Joined stack path ("a/b/c"), cached so _charge never re-joins.
+        self._phase_path = ""
         self._counting = True
+        # Observer objects notified of phases, counted I/Os, and
+        # live-block changes (see add_observer).  Empty in the common
+        # case, so the hot paths pay one falsy check.
+        self._observers: list = []
         # Lifetime high-water mark of live blocks, for space accounting.
         self._peak_blocks = 0
         # Ids of blocks ever read while counting was on — lets the
@@ -146,17 +173,62 @@ class Disk:
         """Return a frozen copy of the counters."""
         return self._counters.copy()
 
+    @property
+    def phase_path(self) -> str:
+        """The active phase stack joined with ``"/"`` (``""`` outside
+        any phase) — the label every counted I/O is charged to."""
+        return self._phase_path
+
+    # ------------------------------------------------------------------
+    # Observer hooks
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register an observer of this disk's model-visible activity.
+
+        ``observer`` must provide four methods (the
+        :class:`repro.obs.Tracer` machine hook is the canonical
+        implementation):
+
+        * ``on_phase_push(label, path)`` / ``on_phase_pop(label, path)``
+          — a :meth:`phase` context was entered / exited (``path`` is
+          the joined stack path including ``label``);
+        * ``on_io(read: bool, count: int)`` — ``count`` I/Os were
+          charged (only *counted* I/Os; :meth:`uncounted` work is
+          invisible to observers, exactly as it is to the counters);
+        * ``on_blocks(live: int)`` — the live-block count changed.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unregister an observer added with :meth:`add_observer`."""
+        self._observers.remove(observer)
+
     # ------------------------------------------------------------------
     # Phase tagging / counting control
     # ------------------------------------------------------------------
     @contextmanager
     def phase(self, label: str) -> Iterator[None]:
-        """Attribute I/Os inside the ``with`` body to ``label``."""
+        """Attribute I/Os inside the ``with`` body to ``label``.
+
+        Phases nest: I/Os are charged to the joined stack path
+        (``"outer/inner"``), so a composed algorithm's cost can be
+        rolled up to any ancestor.  ``label`` must not contain ``"/"``
+        (it would corrupt the path structure).
+        """
+        if "/" in label:
+            raise ValueError(f"phase label {label!r} must not contain '/'")
         self._phase_stack.append(label)
+        self._phase_path = "/".join(self._phase_stack)
+        path = self._phase_path
+        for obs in self._observers:
+            obs.on_phase_push(label, path)
         try:
             yield
         finally:
             self._phase_stack.pop()
+            self._phase_path = "/".join(self._phase_stack)
+            for obs in self._observers:
+                obs.on_phase_pop(label, path)
 
     @contextmanager
     def uncounted(self) -> Iterator[None]:
@@ -203,7 +275,7 @@ class Disk:
     def _charge(self, *, read: bool, count: int = 1) -> None:
         if not self._counting or count == 0:
             return
-        label = self._phase_stack[-1] if self._phase_stack else ""
+        label = self._phase_path
         r, w = self._counters.by_phase.get(label, (0, 0))
         if read:
             self._counters.reads += count
@@ -213,6 +285,8 @@ class Disk:
             self._counters.writes += count
             self._lifetime.writes += count
             self._counters.by_phase[label] = (r, w + count)
+        for obs in self._observers:
+            obs.on_io(read, count)
 
     # ------------------------------------------------------------------
     # Block operations
@@ -230,6 +304,8 @@ class Disk:
         for bid in ids:
             self._blocks[bid] = empty
         self._peak_blocks = max(self._peak_blocks, len(self._blocks))
+        for obs in self._observers:
+            obs.on_blocks(len(self._blocks))
         return ids
 
     def free(self, block_ids: list[int]) -> None:
@@ -248,6 +324,8 @@ class Disk:
         for bid in block_ids:
             del self._blocks[bid]
             self._origin.pop(bid, None)
+        for obs in self._observers:
+            obs.on_blocks(len(self._blocks))
 
     def read(self, block_id: int) -> np.ndarray:
         """Read one block; counts one read I/O.  Returns a copy."""

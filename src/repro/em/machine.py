@@ -101,6 +101,23 @@ class MemoryAccountant:
         self._capacity = int(capacity)
         self._in_use = 0
         self._peak = 0
+        # Observer objects with an ``on_memory(in_use)`` method,
+        # notified after every lease/resize/release (the span tracer
+        # tracks per-span memory high-water marks through this).
+        self._observers: list = []
+
+    def add_observer(self, observer) -> None:
+        """Register an observer: ``observer.on_memory(in_use)`` is
+        called after every change to the leased total."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unregister an observer added with :meth:`add_observer`."""
+        self._observers.remove(observer)
+
+    def _notify(self) -> None:
+        for obs in self._observers:
+            obs.on_memory(self._in_use)
 
     @property
     def capacity(self) -> int:
@@ -133,6 +150,8 @@ class MemoryAccountant:
             raise MemoryBudgetError(size, self._in_use, self._capacity, label)
         self._in_use += size
         self._peak = max(self._peak, self._in_use)
+        if self._observers:
+            self._notify()
         return MemoryLease(self, size, label)
 
     def _resize(self, lease: MemoryLease, new_size: int) -> None:
@@ -148,9 +167,13 @@ class MemoryAccountant:
         self._in_use += delta
         self._peak = max(self._peak, self._in_use)
         lease._size = new_size
+        if self._observers:
+            self._notify()
 
     def _release(self, lease: MemoryLease) -> None:
         self._in_use -= lease._size
+        if self._observers:
+            self._notify()
 
 
 class Machine:
@@ -183,8 +206,23 @@ class Machine:
         self.memory = MemoryAccountant(memory)
         self._comparisons = 0
         self._lifetime_comparisons = 0
+        # Observer objects with an ``on_comparisons(count)`` method,
+        # notified per charge_comparisons call (the span tracer's hook).
+        self._machine_observers: list = []
         for cb in list(_observers):
             cb(self)
+
+    def add_observer(self, observer) -> None:
+        """Register an observer: ``observer.on_comparisons(count)`` is
+        called for every :meth:`charge_comparisons` charge.  Disk and
+        memory activity have their own observer hooks
+        (:meth:`Disk.add_observer <repro.em.disk.Disk.add_observer>`,
+        :meth:`MemoryAccountant.add_observer`)."""
+        self._machine_observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unregister an observer added with :meth:`add_observer`."""
+        self._machine_observers.remove(observer)
 
     # ------------------------------------------------------------------
     # Model parameters
@@ -249,6 +287,8 @@ class Machine:
         charge = int(math.ceil(count))
         self._comparisons += charge
         self._lifetime_comparisons += charge
+        for obs in self._machine_observers:
+            obs.on_comparisons(charge)
 
     def reset_counters(self) -> None:
         self.disk.reset_counters()
@@ -265,7 +305,12 @@ class Machine:
     @contextmanager
     def measure(self, label: str = "") -> Iterator[IOCounters]:
         """Yield a counter object that, after the block exits, holds the
-        I/Os performed inside the ``with`` body.
+        I/Os and comparisons performed inside the ``with`` body.
+
+        The result is a frozen delta: its ``by_phase`` dict is a private
+        copy (mutating it never touches the live counters) and its
+        ``comparisons`` field carries the CPU-cost delta alongside the
+        I/Os.
 
         >>> mach = Machine(memory=4096, block=64)
         >>> with mach.measure() as cost:
@@ -274,6 +319,7 @@ class Machine:
         0
         """
         before = self.snapshot()
+        cmp_before = self._comparisons
         result = IOCounters()
         try:
             if label:
@@ -285,7 +331,8 @@ class Machine:
             delta = self.snapshot() - before
             result.reads = delta.reads
             result.writes = delta.writes
-            result.by_phase = delta.by_phase
+            result.by_phase = dict(delta.by_phase)
+            result.comparisons = self._comparisons - cmp_before
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -44,7 +44,7 @@ __all__ = [
 
 #: Version tag embedded in every record, cache entry and results.json —
 #: bump when the record format changes (stale cache entries are ignored).
-RESULTS_SCHEMA_VERSION = 1
+RESULTS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -56,7 +56,10 @@ class RunRecord:
     counters over every machine the experiment constructed (reads,
     writes, io_total, comparisons, peak_memory_records,
     peak_disk_blocks, machines) — lifetime, because experiments reset
-    the live counters per sweep point.
+    the live counters per sweep point.  ``spans`` is the span-path
+    rollup recorded by a :class:`repro.obs.Tracer` over the same
+    machines (see :func:`repro.obs.span_rollup`): ``{path: metrics}``
+    with exclusive reads/writes/comparisons per joined phase path.
     """
 
     exp_id: str
@@ -66,6 +69,7 @@ class RunRecord:
     error: str | None = None
     result: ExperimentResult | None = None
     resources: dict | None = None
+    spans: dict | None = None
 
     @property
     def passed(self) -> bool:
@@ -99,6 +103,7 @@ class RunRecord:
             "error": self.error,
             "passed": self.passed,
             "resources": self.resources,
+            "spans": self.spans,
             "result": None if self.result is None else self.result.to_dict(),
         }
 
@@ -113,6 +118,7 @@ class RunRecord:
             error=d.get("error"),
             result=None if result is None else ExperimentResult.from_dict(result),
             resources=d.get("resources"),
+            spans=d.get("spans"),
         )
 
 
@@ -125,18 +131,22 @@ def run_one(exp_id: str, quick: bool) -> dict:
     This is the process-pool worker: it takes and returns only
     picklable/JSON-safe values.  Machines constructed by the experiment
     are collected via :func:`repro.em.machine.observe_machines` and
-    their lifetime counters aggregated into the record's resources.
+    their lifetime counters aggregated into the record's resources; a
+    :class:`repro.obs.Tracer` installs alongside (the hook is
+    reentrant) and its span-path rollup rides in the record's ``spans``.
     """
     # Ensure the registry is populated in freshly spawned workers.
     importlib.import_module("repro.experiments")
     from ..em.machine import observe_machines
+    from ..obs import Tracer, span_rollup
 
     machines: list = []
+    tracer = Tracer()
     t0 = time.perf_counter()
     result: ExperimentResult | None = None
     error: str | None = None
     try:
-        with observe_machines(machines.append):
+        with observe_machines(machines.append), tracer.install():
             result = get_experiment(exp_id)(quick)
     except Exception as exc:  # noqa: BLE001 — workers must not die
         error = f"{type(exc).__name__}: {exc}"
@@ -157,6 +167,7 @@ def run_one(exp_id: str, quick: bool) -> dict:
         error=error,
         result=result,
         resources=resources,
+        spans=span_rollup(tracer.traces),
     ).to_dict()
 
 

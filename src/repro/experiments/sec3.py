@@ -19,6 +19,7 @@ on balance.
 from __future__ import annotations
 
 from ..analysis.fit import ratio_stats
+from ..analysis.trace import phase_total
 from ..analysis.verify import check_partitioned
 from ..alg.multipartition import multi_partition
 from ..bounds.formulas import partition_left_bound, scan_io
@@ -72,11 +73,7 @@ def sec3(quick: bool = False) -> ExperimentResult:
             )
             check_partitioned(records, pf, bb, bb, n // bb)
             pf.free()
-            sweep_io = sum(
-                r + w
-                for label, (r, w) in mach.io.by_phase.items()
-                if label == "reduction-sweep"
-            )
+            sweep_io = phase_total(mach.io, "reduction-sweep")
             per_block = sweep_io / scan_io(n, mach.B)
             in_memory = 2 * bb + 3 * mach.B <= mach.M
             (mem_sweep if in_memory else ext_sweep).append(per_block)

@@ -1,0 +1,47 @@
+"""Observability for the EM simulator: span tracing, trace export, and
+the I/O-budget regression gate.
+
+The paper's claims are Θ-shapes in block I/Os; this subpackage provides
+the attribution layer — a hierarchical :class:`Tracer` recording
+per-phase span trees (reads, writes, comparisons, memory/disk peaks,
+wall time), exporters (Perfetto/Chrome trace JSON, text tree,
+plain dicts), and a constant-factor budget gate that fails CI when an
+algorithm's measured I/O count drifts above its committed envelope.
+"""
+
+from .budget import (
+    BudgetCheck,
+    check_budgets,
+    default_budgets_path,
+    render_budget_report,
+    write_budgets,
+)
+from .export import (
+    chrome_trace,
+    render_span_tree,
+    span_rollup,
+    traces_to_dict,
+    write_chrome_trace,
+)
+from .solvers import SOLVERS, Solver, build_instance, run_solver
+from .tracer import MachineTrace, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "MachineTrace",
+    "Span",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+    "span_rollup",
+    "traces_to_dict",
+    "Solver",
+    "SOLVERS",
+    "build_instance",
+    "run_solver",
+    "BudgetCheck",
+    "check_budgets",
+    "render_budget_report",
+    "write_budgets",
+    "default_budgets_path",
+]

@@ -1,0 +1,247 @@
+"""Exporters for recorded span trees.
+
+Three output forms, one per consumer:
+
+* :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
+  array of complete ``"X"`` events), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  One process row
+  per traced machine; every span becomes a slice whose ``args`` carry
+  the model costs (reads, writes, comparisons, memory/block peaks).
+* :func:`render_span_tree` — a human-readable text tree with per-span
+  I/O shares.  Sibling spans with the same name (loop iterations,
+  recursion fan-out) are merged by default (``×n`` count column) so the
+  tree stays readable; pass ``merge=False`` for the raw sequence.
+* :func:`span_rollup` — a flat ``{path: metrics}`` dict aggregating
+  every span with the same stack path, across all machines.  This is
+  the plain-dict form embedded in the experiment runner's
+  ``results.json`` records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .tracer import MachineTrace, Span
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+    "span_rollup",
+    "traces_to_dict",
+]
+
+
+def chrome_trace(traces: Sequence[MachineTrace]) -> dict:
+    """Build a Chrome trace-event JSON document from recorded traces.
+
+    Timestamps are microseconds relative to the earliest root span, so
+    multi-machine experiments line up on one timeline.
+    """
+    events: list[dict] = []
+    t0 = min((t.root.t_start for t in traces), default=0.0)
+    for trace in traces:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": trace.index,
+                "tid": 0,
+                "args": {
+                    "name": f"machine-{trace.index} (M={trace.M}, B={trace.B})"
+                },
+            }
+        )
+        for span in trace.root.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "em",
+                    "ph": "X",
+                    "pid": trace.index,
+                    "tid": 0,
+                    "ts": round((span.t_start - t0) * 1e6, 3),
+                    "dur": round(span.wall_s * 1e6, 3),
+                    "args": {
+                        "path": span.path,
+                        "reads": span.cum_reads,
+                        "writes": span.cum_writes,
+                        "io": span.cum_io,
+                        "comparisons": span.cum_comparisons,
+                        "self_io": span.io,
+                        "mem_peak": span.mem_peak,
+                        "blocks_peak": span.blocks_peak,
+                        "depth": span.depth,
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(traces: Sequence[MachineTrace], path: str | Path) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(traces), indent=1) + "\n")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Text tree
+# ----------------------------------------------------------------------
+def _merge_siblings(spans: list[Span]) -> list[tuple[Span, int, dict]]:
+    """Group same-named siblings: ``(representative, count, summed)``.
+
+    ``summed`` holds inclusive totals over the group (io, reads, writes,
+    comparisons, wall) plus max peaks — what one tree row reports.
+    """
+    groups: dict[str, tuple[Span, int, dict]] = {}
+    for span in spans:
+        agg = {
+            "reads": span.cum_reads,
+            "writes": span.cum_writes,
+            "comparisons": span.cum_comparisons,
+            "wall_s": span.wall_s,
+            "mem_peak": span.mem_peak,
+            "blocks_peak": span.blocks_peak,
+        }
+        if span.name not in groups:
+            groups[span.name] = (span, 1, agg)
+        else:
+            rep, count, acc = groups[span.name]
+            for key in ("reads", "writes", "comparisons", "wall_s"):
+                acc[key] += agg[key]
+            for key in ("mem_peak", "blocks_peak"):
+                acc[key] = max(acc[key], agg[key])
+            groups[span.name] = (rep, count + 1, acc)
+    return list(groups.values())
+
+
+def _tree_rows(
+    spans: list[Span], grand_io: int, depth: int, merge: bool, rows: list
+) -> None:
+    if merge:
+        entries = _merge_siblings(spans)
+    else:
+        entries = [
+            (
+                span,
+                1,
+                {
+                    "reads": span.cum_reads,
+                    "writes": span.cum_writes,
+                    "comparisons": span.cum_comparisons,
+                    "wall_s": span.wall_s,
+                    "mem_peak": span.mem_peak,
+                    "blocks_peak": span.blocks_peak,
+                },
+            )
+            for span in spans
+        ]
+    entries.sort(key=lambda e: -(e[2]["reads"] + e[2]["writes"]))
+    for rep, count, agg in entries:
+        io = agg["reads"] + agg["writes"]
+        label = "  " * depth + rep.name + (f" ×{count}" if count > 1 else "")
+        rows.append(
+            (
+                label,
+                io,
+                io / grand_io if grand_io else 0.0,
+                agg["reads"],
+                agg["writes"],
+                agg["comparisons"],
+                agg["mem_peak"],
+                agg["blocks_peak"],
+                agg["wall_s"],
+            )
+        )
+        # Children of every span in the merged group render together one
+        # level deeper (recursion collapses into one sub-tree per name).
+        children = (
+            [c for s in spans if s.name == rep.name for c in s.children]
+            if merge
+            else rep.children
+        )
+        if children:
+            _tree_rows(children, grand_io, depth + 1, merge, rows)
+
+
+def render_span_tree(
+    traces: Sequence[MachineTrace] | MachineTrace, *, merge: bool = True
+) -> str:
+    """Render trace(s) as an indented text tree with per-span I/O shares.
+
+    Every row shows *inclusive* costs (self + descendants); the share
+    column is relative to its machine's total I/O, so nested rows
+    overlap by design — read it like a flame graph.
+    """
+    if isinstance(traces, MachineTrace):
+        traces = [traces]
+    chunks: list[str] = []
+    for trace in traces:
+        grand = trace.root.cum_io
+        rows: list[tuple] = []
+        _tree_rows([trace.root], grand, 0, merge, rows)
+        width = max(len(r[0]) for r in rows)
+        lines = [
+            f"machine-{trace.index} (M={trace.M}, B={trace.B}): "
+            f"{grand:,} I/Os, {trace.root.cum_comparisons:,} comparisons",
+            f"{'span':<{width}}  {'io':>9}  {'share':>6}  {'reads':>9}  "
+            f"{'writes':>9}  {'cmp':>10}  {'mem':>8}  {'blocks':>7}  {'wall':>9}",
+        ]
+        for label, io, share, reads, writes, cmps, mem, blocks, wall in rows:
+            lines.append(
+                f"{label:<{width}}  {io:>9,}  {share:>6.1%}  {reads:>9,}  "
+                f"{writes:>9,}  {cmps:>10,}  {mem:>8,}  {blocks:>7,}  "
+                f"{wall * 1e3:>7.1f}ms"
+            )
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Plain-dict forms
+# ----------------------------------------------------------------------
+def span_rollup(traces: Sequence[MachineTrace]) -> dict[str, dict]:
+    """Aggregate spans by full stack path across all machines.
+
+    Returns ``{path: {"spans", "reads", "writes", "io", "comparisons",
+    "mem_peak", "blocks_peak", "wall_s"}}`` where reads/writes/
+    comparisons/wall sum the *exclusive* costs of every span with that
+    path (so values across paths sum to the machines' totals) and the
+    peaks take maxima.  The root path is ``""``.  This is the runner's
+    ``results.json`` embedding — flat, JSON-safe, and bounded by the
+    number of distinct paths rather than the number of span activations.
+    """
+    rollup: dict[str, dict] = {}
+    for trace in traces:
+        for span in trace.root.walk():
+            entry = rollup.setdefault(
+                span.path,
+                {
+                    "spans": 0,
+                    "reads": 0,
+                    "writes": 0,
+                    "io": 0,
+                    "comparisons": 0,
+                    "mem_peak": 0,
+                    "blocks_peak": 0,
+                    "wall_s": 0.0,
+                },
+            )
+            entry["spans"] += 1
+            entry["reads"] += span.reads
+            entry["writes"] += span.writes
+            entry["io"] += span.reads + span.writes
+            entry["comparisons"] += span.comparisons
+            entry["mem_peak"] = max(entry["mem_peak"], span.mem_peak)
+            entry["blocks_peak"] = max(entry["blocks_peak"], span.blocks_peak)
+            entry["wall_s"] = round(entry["wall_s"] + span.wall_s, 6)
+    return rollup
+
+
+def traces_to_dict(traces: Sequence[MachineTrace]) -> list[dict]:
+    """Full span trees as plain dicts (one per machine)."""
+    return [trace.to_dict() for trace in traces]

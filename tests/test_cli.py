@@ -185,6 +185,47 @@ class TestReport:
         assert "20 run, 0 cached" in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_trace_writes_all_three_artifacts(self, capsys, tmp_path):
+        rc = main(["trace", "sort", "--n", "4000", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sorted 4000 records" in out and "perfetto" in out.lower()
+
+        chrome = json.loads((tmp_path / "sort.trace.json").read_text())
+        events = chrome["traceEvents"]
+        assert any(e["ph"] == "M" for e in events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} >= {"(machine)", "sort"}
+
+        tree = (tmp_path / "sort.tree.txt").read_text()
+        assert "sort" in tree and "share" in tree
+
+        spans = json.loads((tmp_path / "sort.spans.json").read_text())
+        assert spans["solver"] == "sort" and spans["io"] > 0
+        assert spans["params"]["n"] == 4000
+        assert sum(v["io"] for v in spans["rollup"].values()) == spans["io"]
+        assert spans["traces"][0]["root"]["children"]
+
+    def test_trace_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "bogosort"])
+
+
+class TestBudgetsCli:
+    def test_budgets_check_against_committed_file(self, capsys):
+        assert main(["budgets"]) == 0
+        assert "budget gate: PASS" in capsys.readouterr().out
+
+    def test_budgets_write_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "budgets.json"
+        assert main(["budgets", "--write", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out and "budget gate: PASS" in out
+        doc = json.loads(path.read_text())
+        assert doc["budgets"]
+
+
 class TestApiDocs:
     def test_generated_api_docs_up_to_date(self):
         """docs/API.md must match the current public surface."""

@@ -166,8 +166,26 @@ class TestCounting:
             with d.phase("inner"):
                 d.read(bid)
         assert d.counters.by_phase["setup"] == (0, 1)
-        assert d.counters.by_phase["inner"] == (1, 0)
+        # Nested phases are charged to the joined stack path, so the
+        # parent's share is recoverable by prefix aggregation.
+        assert d.counters.by_phase["outer/inner"] == (1, 0)
+        assert "inner" not in d.counters.by_phase
         assert "outer" not in d.counters.by_phase
+
+    def test_phase_path_property_and_slash_rejected(self):
+        import pytest
+
+        d = Disk(8)
+        assert d.phase_path == ""
+        with d.phase("outer"):
+            assert d.phase_path == "outer"
+            with d.phase("inner"):
+                assert d.phase_path == "outer/inner"
+            assert d.phase_path == "outer"
+        assert d.phase_path == ""
+        with pytest.raises(ValueError):
+            with d.phase("bad/label"):
+                pass
 
     def test_reset_counters(self):
         d = Disk(8)

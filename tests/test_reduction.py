@@ -105,11 +105,9 @@ class TestCost:
         f = load_input(mach, random_permutation(n, seed=8))
         mach.reset_counters()
         pf = precise_partition_via_approx(mach, f, b)
-        sweep = sum(
-            r + w
-            for label, (r, w) in mach.io.by_phase.items()
-            if label == "reduction-sweep"
-        )
+        from repro.analysis import phase_total
+
+        sweep = phase_total(mach.io, "reduction-sweep")
         assert sweep <= 4 * (n // 64)
         pf.free()
 

@@ -194,6 +194,49 @@ class TestParallel:
         assert all(r.cached for r in second)
 
 
+class TestSpans:
+    def test_run_one_embeds_a_lossless_span_rollup(self):
+        rec = RunRecord.from_dict(run_one("ABL4", True))
+        assert rec.spans, "runner must record a span rollup"
+        assert sum(v["io"] for v in rec.spans.values()) == rec.resources["io_total"]
+        assert (
+            sum(v["comparisons"] for v in rec.spans.values())
+            == rec.resources["comparisons"]
+        )
+
+    def test_spans_survive_process_pool_and_results_json(self, tmp_path):
+        records = run_experiments(FAST_IDS, quick=True, jobs=2, cache=False)
+        path = write_results_json(records, tmp_path / "results.json", jobs=2)
+        data = json.loads(path.read_text())
+        for entry, rec in zip(data["experiments"], records):
+            assert entry["spans"] == rec.spans
+            assert (
+                sum(v["io"] for v in entry["spans"].values())
+                == entry["resources"]["io_total"]
+            )
+            round_tripped = RunRecord.from_dict(entry)
+            assert round_tripped.spans == rec.spans
+
+    def test_observe_machines_is_reentrant_with_tracer_install(self):
+        # The runner stacks a machine collector and a tracer on the same
+        # hook; both must see every machine, and unwinding one context
+        # must not disturb the other.
+        from repro.em.machine import Machine, observe_machines
+        from repro.obs import Tracer
+
+        outer, inner = [], []
+        tracer = Tracer()
+        with observe_machines(outer.append):
+            with tracer.install():
+                with observe_machines(inner.append):
+                    m1 = Machine(memory=64, block=8)
+                m2 = Machine(memory=64, block=8)
+            m3 = Machine(memory=64, block=8)
+        assert outer == [m1, m2, m3]
+        assert inner == [m1]
+        assert len(tracer.traces) == 2  # m1 and m2, not m3
+
+
 class TestResultsJson:
     def test_schema(self, tmp_path):
         records = run_experiments(FAST_IDS, quick=True, cache=False)

@@ -172,6 +172,41 @@ class TestTrace:
         assert rows[0][3] == 7 and rows[1][0] == "(untagged)"
         assert abs(sum(r[4] for r in rows) - 1.0) < 1e-9
 
+    def test_phase_breakdown_hierarchical(self):
+        from repro.analysis import phase_breakdown, phase_total
+        from repro.em.disk import IOCounters
+
+        c = IOCounters(
+            reads=10, writes=4,
+            by_phase={
+                "partition": (1, 0),
+                "partition/distribute": (4, 3),
+                "partition/distribute/flush": (0, 1),
+                "scan": (5, 0),
+            },
+        )
+        rows = phase_breakdown(c)
+        assert [r[0] for r in rows] == [
+            "partition", "partition/distribute",
+            "partition/distribute/flush", "scan",
+        ]
+        # Parent totals are inclusive of nested phases.
+        assert rows[0][1:4] == (5, 4, 9)
+        assert rows[1][1:4] == (4, 4, 8)
+        assert phase_total(c, "partition") == 9
+        assert phase_total(c, "partition/distribute") == 8
+        assert phase_total(c, "scan") == 5
+        assert phase_total(c, "part") == 0  # prefix is path-wise, not string-wise
+
+    def test_render_phase_breakdown_indents_nested(self):
+        from repro.analysis import render_phase_breakdown
+        from repro.em.disk import IOCounters
+
+        c = IOCounters(reads=2, writes=0,
+                       by_phase={"a": (1, 0), "a/b": (1, 0)})
+        out = render_phase_breakdown(c)
+        assert "  b" in out and "a/b" not in out
+
     def test_render_phase_breakdown_empty(self):
         from repro.analysis import render_phase_breakdown
         from repro.em.disk import IOCounters
@@ -220,9 +255,11 @@ class TestAccessStats:
         from repro.analysis import access_stats
 
         s = access_stats([])
-        assert s.reads == 0 and s.read_sequentiality == 1.0
+        assert s.reads == 0 and s.read_sequentiality == 0.0
+        assert s.read_mean_run == 0.0
         s = access_stats([("w", 7)])
         assert s.writes == 1 and s.write_mean_run == 1.0
+        assert s.write_sequentiality == 0.0
 
     def test_disk_trace_capture(self):
         import numpy as np
