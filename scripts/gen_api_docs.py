@@ -50,6 +50,7 @@ MODULES = [
     "repro.bounds.probabilistic",
     "repro.bounds.adversary",
     "repro.workloads.generators",
+    "repro.workloads.queries",
     "repro.analysis.verify",
     "repro.analysis.fit",
     "repro.analysis.access",
@@ -62,6 +63,10 @@ MODULES = [
     "repro.apps.histogram",
     "repro.apps.load_balance",
     "repro.apps.order_stats",
+    "repro.service.index",
+    "repro.service.online",
+    "repro.service.updates",
+    "repro.service.frontend",
     "repro.experiments.base",
     "repro.experiments.runner",
     "repro.experiments.report_all",
@@ -97,6 +102,11 @@ see ``repro <command> --help`` for every flag.
   check every registered solver against `benchmarks/budgets.json`, or
   recalibrate and rewrite the envelopes after an intentional cost
   change.
+- `repro serve` / `repro query` / `repro bench-queries` — the online
+  partition service (`repro.service`): an interactive query loop over
+  stdin, a one-shot coalesced query batch, and the online-vs-offline
+  trace benchmark that records its acceptance check under
+  `benchmarks/out/SERVICE_QUERIES.txt`.
 """
 
 

@@ -57,20 +57,32 @@ class EquiDepthHistogram:
         return len(self.boundaries) + 1
 
     def bucket_of(self, key: int) -> int:
-        """Index of the bucket containing ``key`` (0-based)."""
+        """Index of the *first* bucket that may contain ``key`` (0-based).
+
+        When ``key`` equals a boundary value that occurs multiple times
+        in the data, its occurrences can spill past this bucket (the
+        boundaries cut the composite key/uid order, not the key values);
+        :meth:`rank_bounds` accounts for that.
+        """
         return int(np.searchsorted(self.boundaries, key, side="left"))
 
     def rank_bounds(self, key: int) -> tuple[int, int]:
         """Certain bounds on the rank of ``key``: the true number of
         elements ``<= key`` lies in the returned ``[lo, hi]``.
 
-        A key inside bucket ``j`` has at least ``j`` full buckets below it
-        (each ``>= a``) and at most ``j+1`` buckets' worth of elements
-        ``<= key`` (each ``<= b``).
+        With ``c`` boundaries ``<= key``, buckets ``0..c-1`` hold only
+        elements ``<= key`` (each ``>= a``), and every element ``<= key``
+        lies in buckets ``0..c`` (each ``<= b``).  Counting boundaries
+        with ``side="right"`` is what makes both directions certain for
+        keys *equal* to a boundary value: such a key's duplicates may
+        spill past the boundary's own bucket, but never past the next
+        one, while the boundary's bucket itself is entirely ``<= key``.
+        (The former ``side="left"`` count understated ``hi`` exactly in
+        that spill case.)
         """
-        j = self.bucket_of(key)
-        lo = j * self.a
-        hi = min(self.n, (j + 1) * self.b)
+        c = int(np.searchsorted(self.boundaries, key, side="right"))
+        lo = c * self.a
+        hi = min(self.n, (c + 1) * self.b)
         return lo, hi
 
     def rank_estimate(self, key: int) -> float:

@@ -29,6 +29,8 @@ __all__ = [
     "partition_left_bound",
     "partition_two_sided_lower",
     "partition_two_sided_upper",
+    "online_trace_io",
+    "service_index_io",
     "lemma5_condition",
 ]
 
@@ -158,3 +160,29 @@ def partition_two_sided_upper(
     return (a * k / b) * lg_ratio(min(k, a * k / b), m, b) + partition_left_bound(
         n, k, bb, m, b
     )
+
+
+# ----------------------------------------------------------------------
+# Service-layer cost models (repro.service)
+# ----------------------------------------------------------------------
+def online_trace_io(n: int, k: int, queries: int, m: int, b: int) -> float:
+    """Lazy online multiselection, worst-case total over a trace.
+
+    Refinement work is bounded by fully materializing the K-way pivot
+    tree once — Theorem 4's ``(N/B)·lg_{M/B}(K/B)`` — and each query
+    additionally loads at most one ``~N/K``-record leaf
+    (Barbay–Gupta's amortization: repeats and skew only make the first
+    term *smaller*, never larger).
+    """
+    return multiselect_io(n, k, m, b) + queries * (n / (k * b))
+
+
+def service_index_io(n: int, k: int, queries: int, m: int, b: int) -> float:
+    """Eager partition index: build plus per-query partition loads.
+
+    The build is one two-sided approximate K-partitioning plus a
+    splitter-extraction scan (bounded by the sorting cost); each query
+    then loads at most one partition of ``<= 2N/K`` records (the
+    service's ``slack = 1`` window).
+    """
+    return sort_io(n, m, b) + scan_io(n, b) + queries * (2.0 * n / (k * b))

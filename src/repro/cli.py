@@ -25,6 +25,18 @@ Subcommands:
 ``repro budgets [--check | --write] [--path FILE] [--headroom H]``
     Check every registered solver against its committed I/O envelope
     (the regression gate), or recalibrate and rewrite the envelopes.
+``repro serve --n N --k K [--engine eager|lazy] ...``
+    Interactive partition service: build an index over a generated
+    workload and answer queries (and, with the eager engine, apply
+    appends/deletes) read line-by-line from stdin.
+``repro query --n N --k K QUERY [QUERY ...]``
+    One-shot batch: coalesce the given queries (``select:R``,
+    ``quantile:Q``, ``range:LO:HI``, ``part:KEY``) into one frontend
+    flush and print the answers with the measured I/O.
+``repro bench-queries [--quick] [--trace T] [--queries Q] ...``
+    Benchmark the online service on a query trace against the offline
+    per-query and sort-everything baselines; verifies answers, checks
+    the 25 % acceptance bar, and records the run under benchmarks/out/.
 """
 
 from __future__ import annotations
@@ -278,6 +290,248 @@ def _cmd_budgets(args) -> int:
     return 0 if all(c.ok for c in checks) else 1
 
 
+def _build_service(args):
+    """Shared setup for the service verbs: machine, input, engine.
+
+    Returns ``(machine, file, engine)``; ``file`` is ``None`` when the
+    engine took ownership of the data (the eager index copies the input
+    into its own partition segments, so the staging file is freed here).
+    """
+    from .em import Machine
+    from .service import LazyPartitionIndex, PartitionIndex
+    from .workloads import WORKLOADS, load_input
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; known: "
+              f"{', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+        raise SystemExit(2)
+    machine = Machine(memory=args.memory, block=args.block)
+    records = WORKLOADS[args.workload](args.n, seed=args.seed)
+    file = load_input(machine, records)
+    machine.reset_counters()
+    if args.engine == "eager":
+        engine = PartitionIndex.build(machine, file, args.k)
+        file.free()
+        return machine, None, engine
+    return machine, file, LazyPartitionIndex(machine, file, k=args.k)
+
+
+def _parse_query_spec(spec: str):
+    """``select:R`` / ``quantile:Q`` / ``range:LO:HI`` / ``part:KEY``
+    (long kinds ``range_count`` / ``partition_of`` also accepted)."""
+    kind, _, rest = spec.partition(":")
+    kind = {"range": "range_count", "part": "partition_of"}.get(kind, kind)
+    try:
+        if kind == "select":
+            return ("select", int(rest))
+        if kind == "quantile":
+            return ("quantile", float(rest))
+        if kind == "range_count":
+            lo, _, hi = rest.partition(":")
+            return ("range_count", int(lo), int(hi))
+        if kind == "partition_of":
+            return ("partition_of", int(rest))
+    except ValueError:
+        pass
+    raise SystemExit(f"bad query spec {spec!r} (want select:R, quantile:Q, "
+                     f"range:LO:HI or part:KEY)")
+
+
+def _print_answers(queries, answers) -> None:
+    for query, ans in zip(queries, answers):
+        if query.kind in ("select", "quantile"):
+            arg = query.rank if query.kind == "select" else query.q
+            print(f"  {query.kind} {arg} -> key={int(ans['key'])} "
+                  f"uid={int(ans['uid'])}")
+        elif query.kind == "range_count":
+            print(f"  range_count ({query.lo}, {query.hi}] -> {ans}")
+        else:
+            print(f"  partition_of {query.key} -> {ans}")
+
+
+def _cmd_query(args) -> int:
+    from .service import Query, QueryFrontend
+
+    machine, file, engine = _build_service(args)
+    try:
+        frontend = QueryFrontend(machine, engine)
+        queries = [Query.coerce(_parse_query_spec(s)) for s in args.queries]
+        for query in queries:
+            frontend.submit(query)
+        answers = frontend.flush()
+        print(f"engine={args.engine} N={args.n} K={args.k} "
+              f"n_live={engine.n_live}")
+        _print_answers(queries, answers)
+        flush = frontend.flushes[-1]
+        print(f"one flush: {flush.queries} queries "
+              f"({flush.distinct_ranks} distinct ranks), {flush.io:,} I/Os "
+              f"({flush.amortized_io:.1f}/query)")
+        return 0
+    finally:
+        engine.close()
+        if file is not None:
+            file.free()
+
+
+def _cmd_serve(args) -> int:
+    from .service import QueryFrontend
+
+    machine, file, engine = _build_service(args)
+    frontend = QueryFrontend(machine, engine)
+    eager = args.engine == "eager"
+    print(f"partition service up: engine={args.engine} N={args.n} "
+          f"K={args.k} (M={machine.M}, B={machine.B})")
+    print("commands: select R [R ...] | quantile Q [Q ...] | "
+          "range LO HI | part KEY"
+          + (" | append K [K ...] | delete K | flush" if eager else "")
+          + " | stats | quit")
+    stream = open(args.input) if args.input else sys.stdin
+    status = 0
+    try:
+        for line in stream:
+            tokens = line.split()
+            if not tokens or tokens[0].startswith("#"):
+                continue
+            cmd, rest = tokens[0], tokens[1:]
+            try:
+                if cmd == "quit":
+                    break
+                elif cmd == "stats":
+                    for key, value in frontend.summary().items():
+                        print(f"  {key}: {value}")
+                elif cmd == "select":
+                    for r in rest:
+                        frontend.select(int(r))
+                elif cmd == "quantile":
+                    for q in rest:
+                        frontend.quantile(float(q))
+                elif cmd == "range":
+                    frontend.range_count(int(rest[0]), int(rest[1]))
+                elif cmd == "part":
+                    frontend.partition_of(int(rest[0]))
+                elif eager and cmd == "append":
+                    engine.append([int(k) for k in rest])
+                    print(f"  buffered {len(rest)} appends")
+                elif eager and cmd == "delete":
+                    engine.delete(int(rest[0]))
+                    print("  buffered 1 delete")
+                elif eager and cmd == "flush":
+                    print(f"  update flush: {engine.flush_updates()}")
+                else:
+                    print(f"  unknown command {cmd!r}", file=sys.stderr)
+                    status = 1
+                    continue
+                if frontend.pending:
+                    queued = frontend.queued
+                    answers = frontend.flush()
+                    _print_answers(queued, answers)
+                    flush = frontend.flushes[-1]
+                    print(f"  [{flush.io:,} I/Os]")
+            except Exception as exc:  # keep serving after a bad query
+                print(f"  error: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                status = 1
+        summary = frontend.summary()
+        print(f"served {summary['queries']} queries in "
+              f"{summary['flushes']} flushes: {summary['io']:,} I/Os "
+              f"({summary['amortized_io']:.1f}/query)")
+        return status
+    finally:
+        if args.input:
+            stream.close()
+        engine.close()
+        if file is not None:
+            file.free()
+
+
+def _cmd_bench_queries(args) -> int:
+    from .analysis.report import render_kv
+    from .core import multi_select
+    from .em import Machine
+    from .experiments.runner import default_out_dir
+    from .em.records import composite
+    from .service import LazyPartitionIndex, Query, QueryFrontend
+    from .workloads import load_input
+    from .workloads.generators import random_permutation
+    from .workloads.queries import QUERY_TRACES
+
+    n = args.n or (2**16 if args.quick else 2**20)
+    k = args.k or (64 if args.quick else 256)
+    q = args.queries or (128 if args.quick else 512)
+    trace_fn = QUERY_TRACES[args.trace]
+    if args.trace == "zipfian":
+        trace = trace_fn(q, n, seed=args.seed, alpha=args.alpha)
+    else:
+        trace = trace_fn(q, n, seed=args.seed)
+    records = random_permutation(n, seed=args.seed)
+
+    machine = Machine(memory=args.memory, block=args.block)
+    file = load_input(machine, records)
+    machine.reset_counters()
+    t0 = time.time()
+    with LazyPartitionIndex(machine, file, k=k) as engine:
+        frontend = QueryFrontend(machine, engine)
+        answers = frontend.run(
+            [Query.select(int(r)) for r in trace], batch=args.batch
+        )
+        online_io = machine.io.total
+        stats = dict(engine.stats)
+    wall = time.time() - t0
+    file.free()
+
+    # Differential identity plus the offline per-query estimate (the
+    # single-rank multi-selection cost is rank-independent to ~0.1%).
+    unique, inverse = np.unique(trace, return_inverse=True)
+    mach2 = Machine(memory=args.memory, block=args.block)
+    f2 = load_input(mach2, records)
+    mach2.reset_counters()
+    offline = multi_select(mach2, f2, unique)
+    per_query = []
+    for r in np.linspace(1, n, 3).astype(np.int64):
+        mach2.reset_counters()
+        multi_select(mach2, f2, np.array([r]))
+        per_query.append(mach2.io.total)
+    f2.free()
+    identical = bool(np.array_equal(
+        composite(np.array(answers, dtype=offline.dtype)),
+        composite(offline[inverse]),
+    ))
+    offline_est = float(np.mean(per_query)) * q
+    fraction = online_io / offline_est
+    passed = identical and fraction < 0.25
+
+    lines = [
+        f"service bench: {args.trace} trace, seed {args.seed}",
+        render_kv([
+            ("N / K / queries", f"{n} / {k} / {q}"),
+            ("distinct ranks", len(unique)),
+            ("machine", f"M={args.memory} B={args.block} "
+                        f"(flush batch {args.batch})"),
+            ("online total I/O", f"{online_io:,}"),
+            ("amortized I/O per query", f"{online_io / q:.1f}"),
+            ("refinements / leaf loads / cache hits",
+             f"{stats['refinements']} / {stats['leaf_loads']} / "
+             f"{stats['cache_hits']}"),
+            ("offline per-query baseline",
+             f"{offline_est:,.0f} ({np.mean(per_query):,.0f} I/Os x {q})"),
+            ("online / offline", f"{fraction:.4f}"),
+            ("answers identical to offline", "yes" if identical else "NO"),
+            ("acceptance (< 0.25 of offline)",
+             "PASS" if passed else "FAIL"),
+            ("wall time", f"{wall:.1f}s"),
+        ]),
+    ]
+    text = "\n".join(lines)
+    print(text)
+    out = Path(args.out) if args.out else (
+        default_out_dir() / "SERVICE_QUERIES.txt"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    print(f"\nwrote {out}")
+    return 0 if passed else 1
+
+
 def _cmd_report(args) -> int:
     from .experiments.report_all import DEFAULT_ORDER, generate_experiments_md
     from .experiments.runner import (
@@ -438,6 +692,64 @@ def main(argv: list[str] | None = None) -> int:
         help="envelope headroom over the measured ratio when writing",
     )
 
+    def _service_args(p, engine_default: str) -> None:
+        p.add_argument("--n", type=int, default=65_536)
+        p.add_argument("--k", type=int, default=64)
+        p.add_argument(
+            "--engine", choices=["eager", "lazy"], default=engine_default,
+            help="eager = materialized PartitionIndex (supports updates); "
+            "lazy = LazyPartitionIndex (read-only, refines on demand)",
+        )
+        p.add_argument("--workload", default="permutation")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--memory", type=int, default=4096, help="M (records)")
+        p.add_argument("--block", type=int, default=64, help="B (records)")
+
+    serve_p = sub.add_parser(
+        "serve", help="interactive partition service over stdin"
+    )
+    _service_args(serve_p, engine_default="eager")
+    serve_p.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="read commands from FILE instead of stdin",
+    )
+
+    query_p = sub.add_parser(
+        "query", help="answer one batch of queries against a fresh index"
+    )
+    _service_args(query_p, engine_default="lazy")
+    query_p.add_argument(
+        "queries", nargs="+", metavar="QUERY",
+        help="select:R | quantile:Q | range:LO:HI | part:KEY",
+    )
+
+    bench_p = sub.add_parser(
+        "bench-queries",
+        help="benchmark the online service against offline baselines",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="small instance (N=2^16, 128 queries) for CI smoke runs",
+    )
+    bench_p.add_argument(
+        "--trace", choices=["zipfian", "uniform", "adversarial"],
+        default="zipfian",
+    )
+    bench_p.add_argument("--queries", type=int, default=None)
+    bench_p.add_argument("--alpha", type=float, default=1.1,
+                         help="zipfian skew exponent")
+    bench_p.add_argument("--batch", type=int, default=64,
+                         help="frontend flush size")
+    bench_p.add_argument("--n", type=int, default=None)
+    bench_p.add_argument("--k", type=int, default=None)
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument("--memory", type=int, default=4096, help="M (records)")
+    bench_p.add_argument("--block", type=int, default=64, help="B (records)")
+    bench_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="record file (default benchmarks/out/SERVICE_QUERIES.txt)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "budgets" and args.headroom is None:
         from .obs.budget import DEFAULT_HEADROOM
@@ -459,6 +771,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "budgets":
         return _cmd_budgets(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "bench-queries":
+        return _cmd_bench_queries(args)
     parser.print_help()
     return 2
 

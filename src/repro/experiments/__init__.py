@@ -30,6 +30,7 @@ from . import (  # noqa: F401  (registration imports)
     lem6,
     resources,
     sec3,
+    service,
     substrate,
     t1_partitioning,
     t1_splitters,

@@ -158,6 +158,20 @@ is what makes tight windows and worst-case bounds possible.""",
     "ABL4": """**Design choice.** The deterministic sampling cascade pays O(N/B)
 to make bucket sizes a worst-case guarantee; naive random sampling is
 far cheaper but only probabilistic — measured side by side.""",
+    "SVC": """**Beyond the paper (application).** The online partition service
+answers selection-query *traces* through a lazily refined pivot tree
+(Barbay–Gupta over this paper's partitioning substrate): each query
+refines only the tree path it touches, refinements persist, and answers
+are cached.
+
+**Measured.** Online answers are element-for-element identical to an
+offline multi-selection; the headline zipfian trace costs well under
+25 % of the per-query offline baseline (the acceptance bar, also pinned
+by the `service-online` I/O budget); amortized I/O per query falls as
+the trace grows and the second half of the trace is cheaper than the
+first (the laziness actually amortizes); even the adversarial trace —
+designed to force every refinement — stays within a small constant of
+sorting everything up front.""",
 }
 
 _HEADER = """# EXPERIMENTS — paper vs. measured
@@ -278,7 +292,7 @@ def generate_experiments_md(
 DEFAULT_ORDER = [
     "T1.R1", "T1.R2", "T1.R3", "T1.R4", "T1.R5", "T1.R6",
     "THM4", "LEM6", "LEM5", "SEC3", "HU6", "SORT", "CMP", "SPACE", "SEQ",
-    "ABL1", "ABL2", "ABL3", "ABL4", "ABL5",
+    "ABL1", "ABL2", "ABL3", "ABL4", "ABL5", "SVC",
 ]
 
 

@@ -1,0 +1,659 @@
+"""Eager partition index: approximate K-splitters kept live for queries.
+
+:class:`PartitionIndex` materializes an approximate K-partitioning of an
+:class:`~repro.em.file.EMFile` once (two-sided window ``[a, b]`` with
+``b/a = (1+slack)²``), then serves:
+
+* ``select(rank)`` / ``batch_select(ranks)`` / ``quantile(q)`` — the
+  record(s) at given rank(s): ``O(log K)`` comparisons to locate the
+  partition, then one partition load (``O(b/B)`` I/Os) shared by every
+  rank landing in it;
+* ``range_count(lo, hi)`` — elements with key in ``(lo, hi]``: interior
+  partitions are counted from live sizes for free, at most one partition
+  scan per endpoint;
+* ``partition_of(key)`` — pure in-memory binary search.
+
+The resident control state (splitter composites, partition sizes,
+tombstones, pending updates) is held under a machine memory lease, so
+the simulator's budget accounting covers the service like any other
+algorithm.  Updates arrive through :class:`repro.service.updates.DeltaBuffer`
+(see :meth:`PartitionIndex.append` / :meth:`PartitionIndex.delete`) and
+are flushed automatically before any query, so answers always reflect
+every prior update.
+
+The partition convention matches the paper throughout: partition ``j``
+holds the composites in ``(s_{j-1}, s_j]``, where ``s_j`` is the largest
+composite of partition ``j``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..em.comparisons import cmp_linear, cmp_search, cmp_sort
+from ..em.errors import SpecError
+from ..em.file import EMFile
+from ..em.records import (
+    UID_MAX,
+    composite,
+    composite_of,
+    empty_records,
+    sort_records,
+)
+from ..em.streams import BlockReader, BlockWriter
+from ..alg.inmemory import select_at_ranks
+from ..alg.multipartition import multi_partition
+from ..core.partitioning import approximate_partition
+from ..core.spec import validate_params
+from ..apps.order_stats import rank_of_fraction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..em.machine import Machine
+    from .updates import DeltaBuffer
+
+__all__ = ["PartitionIndex"]
+
+
+def _near_equal(total: int, pieces: int) -> list[int]:
+    """Split ``total`` into ``pieces`` sizes differing by at most one."""
+    base, extra = divmod(total, pieces)
+    return [base + (1 if i < extra else 0) for i in range(pieces)]
+
+
+class _Partition:
+    """One live partition: disk segments plus in-memory tombstones.
+
+    ``stored`` counts records on disk including tombstoned ones; ``live``
+    is the partition's logical size.  Tombstones are the composites of
+    deleted records, applied lazily at the next compaction.
+    """
+
+    __slots__ = ("segments", "stored", "tombstones")
+
+    def __init__(self, segments: list[EMFile], stored: int, tombstones=None):
+        self.segments = segments
+        self.stored = stored
+        self.tombstones: set[int] = tombstones if tombstones is not None else set()
+
+    @property
+    def live(self) -> int:
+        return self.stored - len(self.tombstones)
+
+
+class PartitionIndex:
+    """A live approximate-K-partition index over one machine's disk.
+
+    Build with :meth:`build`; the index owns its partition segments (the
+    input file is left intact and may be freed by the caller).  Use as a
+    context manager or call :meth:`close` to release disk and memory.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        k: int,
+        slack: float = 1.0,
+        rebuild_threshold: float = 0.5,
+    ) -> None:
+        if slack <= 0:
+            raise SpecError("service slack must be positive")
+        if rebuild_threshold <= 0:
+            raise SpecError("rebuild threshold must be positive")
+        self._machine = machine
+        self._k0 = int(k)
+        self.slack = float(slack)
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.a = 1
+        self.b = 1
+        self._target = 1
+        self._parts: list[_Partition] = []
+        self._splitters = np.empty(0, dtype=np.int64)
+        self._n_live = 0
+        self._n0 = 0
+        self._drift = 0
+        self._next_uid = 0
+        self._delta: "DeltaBuffer | None" = None
+        self._resident = machine.memory.lease(0, "svc-resident")
+        self._closed = False
+        self.stats = {
+            "splits": 0,
+            "merges": 0,
+            "rebuilds": 0,
+            "compactions": 0,
+            "update_flushes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        machine: "Machine",
+        file: EMFile,
+        k: int,
+        slack: float = 1.0,
+        rebuild_threshold: float = 0.5,
+    ) -> "PartitionIndex":
+        """Build an index over ``file`` with ``<= k`` partitions.
+
+        Costs one approximate K-partitioning (Theorem 6 two-sided) plus
+        one scan to extract the splitter composites.  ``slack`` sets the
+        size window ``a = ⌊(N/K)/(1+slack)⌋``, ``b = ⌈(N/K)·(1+slack)⌉``;
+        the default ``slack = 1`` gives ``b ≥ 2a``, which is what keeps
+        local split/merge rebalancing stable under updates.
+        """
+        if k < 1:
+            raise SpecError("need k >= 1")
+        idx = cls(machine, k, slack=slack, rebuild_threshold=rebuild_threshold)
+        idx._install(file, k, free_input=False)
+        return idx
+
+    def _install(self, file: EMFile, k: int, free_input: bool) -> None:
+        """(Re)build all partitions from ``file``; resets drift."""
+        m = self._machine
+        n = len(file)
+        k = max(1, min(int(k), max(1, n)))
+        per = max(1.0, n / k)
+        self._target = max(1, int(round(per)))
+        self.a = max(1, int(per / (1 + self.slack)))
+        self.b = max(self.a + 1, int(math.ceil(per * (1 + self.slack))))
+        self._n0 = n
+        self._drift = 0
+        if n == 0:
+            self._parts = [_Partition([], 0)]
+            self._splitters = np.empty(0, dtype=np.int64)
+            self._n_live = 0
+            self._sync_resident()
+            if free_input:
+                file.free()
+            return
+        validate_params(n, k, self.a, self.b)
+        with m.phase("svc-build"):
+            pf = approximate_partition(m, file, k, self.a, self.b)
+            parts = [
+                _Partition(pf.segments_of(p), pf.partition_sizes[p])
+                for p in range(pf.num_partitions)
+            ]
+            # One scan extracts the splitter composites (the max composite
+            # of every partition) and the uid high-water mark for appends.
+            maxima: list[int] = []
+            max_uid = -1
+            for part in parts:
+                part_max = -(1 << 62)
+                for seg in part.segments:
+                    with BlockReader(seg, "svc-build-splitters") as reader:
+                        for block in reader:
+                            cmp_linear(m, 2 * len(block))
+                            part_max = max(part_max, int(composite(block).max()))
+                            max_uid = max(max_uid, int(block["uid"].max()))
+                maxima.append(part_max)
+        self._parts = parts
+        self._splitters = np.array(maxima[:-1], dtype=np.int64)
+        self._n_live = n
+        self._next_uid = max(self._next_uid, max_uid + 1)
+        if free_input:
+            file.free()
+        self._sync_resident()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_live(self) -> int:
+        """Logical number of records (pending updates included)."""
+        pending = self._delta.net_delta if self._delta is not None else 0
+        return self._n_live + pending
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._parts)
+
+    @property
+    def drift(self) -> int:
+        """Updates applied since the last (re)build."""
+        return self._drift
+
+    def partition_sizes(self) -> list[int]:
+        """Live size of every partition (pending updates not flushed)."""
+        return [p.live for p in self._parts]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(self, rank: int):
+        """The record of 1-based ``rank`` in composite order."""
+        return self.batch_select(np.array([rank], dtype=np.int64))[0]
+
+    def quantile(self, q: float):
+        """The record at the ``q``-quantile (nearest rank)."""
+        self._flush_updates()
+        if self._n_live == 0:
+            raise SpecError("quantile of an empty index")
+        return self.select(rank_of_fraction(self._n_live, q))
+
+    def batch_select(self, ranks) -> np.ndarray:
+        """Records at the given 1-based ``ranks`` (aligned; duplicates OK).
+
+        Deduplicates internally: each distinct partition touched is
+        loaded (or scanned) exactly once per call, however many ranks
+        land in it.
+        """
+        self._flush_updates()
+        m = self._machine
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size == 0:
+            return empty_records(0)
+        n = self._n_live
+        if n == 0:
+            raise SpecError("select on an empty index")
+        if ranks.min() < 1 or ranks.max() > n:
+            raise SpecError(f"ranks must lie in [1, {n}]")
+        unique, inverse = np.unique(ranks, return_inverse=True)
+        live = np.array([p.live for p in self._parts], dtype=np.int64)
+        ends = np.cumsum(live)
+        j_of = np.searchsorted(ends, unique, side="left")
+        cmp_search(m, len(unique), len(ends))
+        out = empty_records(len(unique))
+        with m.phase("svc-select"):
+            for j in np.unique(j_of):
+                mask = j_of == j
+                below = int(ends[j - 1]) if j > 0 else 0
+                local = unique[mask] - below
+                out[mask] = self._select_in_partition(int(j), local)
+        return out[inverse]
+
+    def range_count(self, lo_key: int, hi_key: int) -> int:
+        """Number of live elements with key in ``(lo_key, hi_key]``.
+
+        Interior partitions are counted from their live sizes (free);
+        each endpoint costs at most one partition scan.
+        """
+        if hi_key < lo_key:
+            raise SpecError("empty range: hi_key < lo_key")
+        self._flush_updates()
+        if self._n_live == 0:
+            return 0
+        with self._machine.phase("svc-range"):
+            hi = self._rank_of_composite(composite_of(hi_key, UID_MAX))
+            lo = self._rank_of_composite(composite_of(lo_key, UID_MAX))
+        return hi - lo
+
+    def partition_of(self, key: int) -> int:
+        """Index of the first partition that may contain ``key`` —
+        ``O(log K)`` comparisons, zero I/O."""
+        self._flush_updates()
+        if not self._parts:
+            raise SpecError("partition_of on a closed index")
+        j = int(
+            np.searchsorted(self._splitters, composite_of(key, 0), side="left")
+        )
+        cmp_search(self._machine, 1, max(1, len(self._splitters)))
+        return j
+
+    # ------------------------------------------------------------------
+    # Updates (delegated to the delta buffer)
+    # ------------------------------------------------------------------
+    def append(self, keys) -> None:
+        """Buffer new elements with the given keys (fresh uids assigned)."""
+        self._buffer().append_keys(keys)
+
+    def delete(self, key: int) -> None:
+        """Buffer the deletion of one live element with key ``key``."""
+        self._buffer().delete_key(key)
+
+    def flush_updates(self) -> dict | None:
+        """Apply all buffered updates now; returns flush stats (or None)."""
+        if self._delta is not None and len(self._delta):
+            return self._delta.flush()
+        return None
+
+    def _buffer(self) -> "DeltaBuffer":
+        if self._delta is None:
+            from .updates import DeltaBuffer
+
+            self._delta = DeltaBuffer(self)
+        return self._delta
+
+    def _flush_updates(self) -> None:
+        if self._delta is not None and len(self._delta):
+            self._delta.flush()
+
+    def _fresh_uids(self, count: int) -> np.ndarray:
+        start = self._next_uid
+        if start + count - 1 > UID_MAX:
+            raise SpecError("uid space exhausted")
+        self._next_uid = start + count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Partition access
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _footprint(part: _Partition) -> int:
+        """Buffer records needed to load the partition (whole blocks)."""
+        return sum(
+            seg.num_blocks * seg.machine.B for seg in part.segments
+        )
+
+    def _select_in_partition(self, j: int, local_ranks: np.ndarray) -> np.ndarray:
+        """Records at 1-based ``local_ranks`` within partition ``j``."""
+        m = self._machine
+        part = self._parts[j]
+        if self._footprint(part) > m.load_limit:
+            self._compact(j)
+        footprint = self._footprint(part)
+        if footprint <= m.load_limit:
+            with m.memory.lease(footprint, "svc-partition-load"):
+                recs = self._read_segments(part.segments)
+                recs = self._drop_tombstoned(part, recs)
+                return select_at_ranks(m, recs, local_ranks)
+        # Oversized even when compacted (only possible for b >> M):
+        # fall back to external multi-selection on the single segment.
+        return np.asarray(multi_select_em(m, part.segments[0], local_ranks))
+
+    def _read_segments(self, segments: list[EMFile]) -> np.ndarray:
+        """Counted read of all segments into memory (caller holds lease)."""
+        parts = [
+            seg.read_range(0, seg.num_blocks) for seg in segments if len(seg)
+        ]
+        if not parts:
+            return empty_records(0)
+        if len(parts) == 1:
+            return parts[0]
+        out = empty_records(sum(len(p) for p in parts))
+        off = 0
+        for p in parts:
+            out[off : off + len(p)] = p
+            off += len(p)
+        return out
+
+    def _drop_tombstoned(self, part: _Partition, recs: np.ndarray) -> np.ndarray:
+        if not part.tombstones:
+            return recs
+        tomb = self._tomb_array(part)
+        comps = composite(recs)
+        cmp_search(self._machine, len(recs), len(tomb))
+        pos = np.searchsorted(tomb, comps)
+        pos_c = np.minimum(pos, len(tomb) - 1)
+        dead = tomb[pos_c] == comps
+        return recs[~dead]
+
+    @staticmethod
+    def _tomb_array(part: _Partition) -> np.ndarray:
+        tomb = np.fromiter(
+            part.tombstones, dtype=np.int64, count=len(part.tombstones)
+        )
+        tomb.sort()
+        return tomb
+
+    def _rank_of_composite(self, c: int) -> int:
+        """Number of live elements with composite ``<= c``."""
+        m = self._machine
+        j = int(np.searchsorted(self._splitters, c, side="left"))
+        cmp_search(m, 1, max(1, len(self._splitters)))
+        below = sum(self._parts[i].live for i in range(j))
+        part = self._parts[j]
+        if part.stored == 0:
+            return below
+        count = 0
+        for seg in part.segments:
+            with BlockReader(seg, "svc-range-scan") as reader:
+                for block in reader:
+                    cmp_linear(m, len(block))
+                    count += int((composite(block) <= c).sum())
+        if part.tombstones:
+            tomb = self._tomb_array(part)
+            cmp_search(m, 1, len(tomb))
+            count -= int(np.searchsorted(tomb, c, side="right"))
+        return below + count
+
+    # ------------------------------------------------------------------
+    # Maintenance (compaction, split, merge, rebuild)
+    # ------------------------------------------------------------------
+    def _write_live(self, writer: BlockWriter, part: _Partition) -> None:
+        """Stream a partition's live records into ``writer``."""
+        m = self._machine
+        tomb = self._tomb_array(part) if part.tombstones else None
+        for seg in part.segments:
+            with BlockReader(seg, "svc-compact-in") as reader:
+                for block in reader:
+                    if tomb is not None and len(tomb):
+                        comps = composite(block)
+                        cmp_search(m, len(block), len(tomb))
+                        pos = np.minimum(
+                            np.searchsorted(tomb, comps), len(tomb) - 1
+                        )
+                        block = block[tomb[pos] != comps]
+                    writer.write(block)
+
+    def _compact(self, j: int) -> None:
+        """Rewrite partition ``j`` as one segment, applying tombstones."""
+        part = self._parts[j]
+        if len(part.segments) <= 1 and not part.tombstones:
+            return
+        m = self._machine
+        with m.phase("svc-compact"):
+            writer = BlockWriter(m, "svc-compact-out")
+            try:
+                self._write_live(writer, part)
+                out = writer.close()
+            except BaseException:
+                writer.abort()
+                raise
+        for seg in part.segments:
+            seg.free()
+        if len(out):
+            part.segments = [out]
+        else:
+            out.free()
+            part.segments = []
+        part.stored = len(out)
+        part.tombstones = set()
+        self.stats["compactions"] += 1
+        self._sync_resident()
+
+    def _rebalance(self, touched) -> None:
+        """Restore the ``[a, b]`` window for every touched partition.
+
+        Processes indices in descending order so splices at index ``j``
+        never invalidate a later (smaller) index.
+        """
+        for j in sorted(set(touched), reverse=True):
+            if j >= len(self._parts):
+                continue
+            part = self._parts[j]
+            if part.live > self.b:
+                self._split(j)
+            elif part.live < self.a and len(self._parts) > 1:
+                self._merge(j)
+
+    def _split(self, j: int) -> None:
+        """Split partition ``j`` into near-target-size pieces."""
+        m = self._machine
+        with m.phase("svc-rebalance"):
+            self._compact(j)
+            part = self._parts[j]
+            live = part.stored
+            pieces = max(2, int(round(live / self._target)))
+            sizes = _near_equal(live, pieces)
+            if self._footprint(part) <= m.load_limit:
+                new_parts, maxima = self._split_in_memory(part, sizes)
+            else:
+                new_parts, maxima = self._split_external(part, sizes)
+        old_segments = part.segments
+        self._parts[j : j + 1] = new_parts
+        self._splitters = np.concatenate(
+            [
+                self._splitters[:j],
+                np.array(maxima[:-1], dtype=np.int64),
+                self._splitters[j:],
+            ]
+        )
+        for seg in old_segments:
+            seg.free()
+        self.stats["splits"] += 1
+        self._sync_resident()
+
+    def _split_in_memory(self, part: _Partition, sizes: list[int]):
+        m = self._machine
+        with m.memory.lease(self._footprint(part), "svc-split-load"):
+            recs = self._read_segments(part.segments)
+            cmp_sort(m, len(recs))
+            recs = sort_records(recs)
+            new_parts: list[_Partition] = []
+            maxima: list[int] = []
+            off = 0
+            for s in sizes:
+                piece = recs[off : off + s]
+                off += s
+                writer = BlockWriter(m, "svc-split-out")
+                try:
+                    writer.write(piece)
+                    f = writer.close()
+                except BaseException:
+                    writer.abort()
+                    raise
+                new_parts.append(_Partition([f], s))
+                maxima.append(int(composite(piece[-1:])[0]))
+        return new_parts, maxima
+
+    def _split_external(self, part: _Partition, sizes: list[int]):
+        m = self._machine
+        pf = multi_partition(m, part.segments[0], sizes)
+        new_parts: list[_Partition] = []
+        maxima: list[int] = []
+        for p in range(pf.num_partitions):
+            segs = pf.segments_of(p)
+            piece_max = -(1 << 62)
+            for seg in segs:
+                with BlockReader(seg, "svc-split-scan") as reader:
+                    for block in reader:
+                        cmp_linear(m, len(block))
+                        piece_max = max(piece_max, int(composite(block).max()))
+            new_parts.append(_Partition(segs, pf.partition_sizes[p]))
+            maxima.append(piece_max)
+        return new_parts, maxima
+
+    def _merge(self, j: int) -> None:
+        """Merge undersized partition ``j`` with its smaller neighbour.
+
+        Pure metadata (zero I/O): segment lists concatenate and one
+        splitter disappears.  Keeps absorbing neighbours while the union
+        stays under ``a`` (mass deletes), and re-splits if it overshoots
+        ``b``.
+        """
+        parts = self._parts
+        while len(parts) > 1 and parts[j].live < self.a:
+            if j == 0:
+                nb = 1
+            elif j == len(parts) - 1:
+                nb = j - 1
+            else:
+                nb = j - 1 if parts[j - 1].live <= parts[j + 1].live else j + 1
+            lo, hi = min(j, nb), max(j, nb)
+            merged = _Partition(
+                parts[lo].segments + parts[hi].segments,
+                parts[lo].stored + parts[hi].stored,
+                parts[lo].tombstones | parts[hi].tombstones,
+            )
+            parts[lo : hi + 1] = [merged]
+            self._splitters = np.delete(self._splitters, lo)
+            self.stats["merges"] += 1
+            j = lo
+            if merged.live > self.b:
+                self._split(lo)
+                break
+        self._sync_resident()
+
+    def _rebuild(self) -> None:
+        """Full repartitioning from the live records (drift exceeded)."""
+        m = self._machine
+        with m.phase("svc-rebuild"):
+            writer = BlockWriter(m, "svc-rebuild-stage")
+            try:
+                for part in self._parts:
+                    self._write_live(writer, part)
+                stage = writer.close()
+            except BaseException:
+                writer.abort()
+                raise
+            for part in self._parts:
+                for seg in part.segments:
+                    seg.free()
+            self._install(stage, self._k0, free_input=True)
+        self.stats["rebuilds"] += 1
+
+    # ------------------------------------------------------------------
+    # Accounting / lifecycle
+    # ------------------------------------------------------------------
+    def _sync_resident(self) -> None:
+        """Size the resident lease to the control state actually held."""
+        total = len(self._splitters) + len(self._parts)
+        total += sum(len(p.tombstones) for p in self._parts)
+        if self._delta is not None:
+            total += self._delta.resident_records
+        self._resident.resize(total)
+
+    def check_invariants(self) -> bool:
+        """Verify structural invariants (uncounted; tests only).
+
+        Checks splitter monotonicity, per-partition composite ranges,
+        tombstone containment, size bookkeeping, and — whenever more
+        than one partition exists — the ``[a, b]`` window.
+        """
+        assert len(self._splitters) == max(0, len(self._parts) - 1)
+        if len(self._splitters) > 1:
+            assert bool(np.all(np.diff(self._splitters) > 0))
+        total = 0
+        with self._machine.uncounted():
+            for j, part in enumerate(self._parts):
+                assert part.live >= 0
+                assert sum(len(s) for s in part.segments) == part.stored
+                total += part.live
+                recs = [s.to_numpy(counted=False) for s in part.segments]
+                comps = (
+                    np.concatenate([composite(r) for r in recs])
+                    if recs
+                    else np.empty(0, dtype=np.int64)
+                )
+                if j > 0 and len(comps):
+                    assert comps.min() > self._splitters[j - 1]
+                if j < len(self._parts) - 1 and len(comps):
+                    assert comps.max() <= self._splitters[j]
+                assert part.tombstones <= set(int(c) for c in comps)
+                if len(self._parts) > 1:
+                    assert self.a <= part.live <= self.b
+        assert total == self._n_live
+        return True
+
+    def close(self) -> None:
+        """Free every partition segment and release the resident lease."""
+        if self._closed:
+            return
+        for part in self._parts:
+            for seg in part.segments:
+                seg.free()
+        self._parts = []
+        self._splitters = np.empty(0, dtype=np.int64)
+        self._n_live = 0
+        self._delta = None
+        if not self._resident.released:
+            self._resident.release()
+        self._closed = True
+
+    def __enter__(self) -> "PartitionIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def multi_select_em(machine: "Machine", file: EMFile, ranks: np.ndarray):
+    """Late import wrapper for the offline fallback (rarely taken)."""
+    from ..core.multiselect import multi_select
+
+    return multi_select(machine, file, ranks)

@@ -1,0 +1,194 @@
+"""Append/delete delta buffer with local rebalancing.
+
+:class:`DeltaBuffer` is the write path of the service: updates are
+buffered in memory (under the index's resident lease), then applied in
+batches:
+
+* **appends** are routed by one batched binary search over the splitter
+  composites and written as new *overflow segments* of their target
+  partitions — ``O(#touched + |batch|/B)`` write I/Os, no rewriting;
+* **deletes** resolve the victim record by scanning the (at most two,
+  for duplicate boundary keys) candidate partitions and tombstone its
+  composite — the record dies logically at once and physically at the
+  partition's next compaction;
+* after a batch, every touched partition that drifted outside the
+  ``[a, b]`` window is **locally** split (via in-memory splitters when
+  it fits, external multi-partition otherwise) or merged with a
+  neighbour (pure metadata);
+* cumulative drift — updates applied since the last full build — above
+  ``rebuild_threshold · N₀`` triggers one **full repartitioning**
+  (traced as the ``svc-rebuild`` phase).
+
+Queries flush the buffer automatically, so every answer reflects every
+prior update.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..em.comparisons import cmp_linear, cmp_search
+from ..em.errors import SpecError
+from ..em.records import UID_MAX, composite, composite_of, make_records
+from ..em.streams import BlockReader, BlockWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .index import PartitionIndex
+
+__all__ = ["DeltaBuffer"]
+
+
+class DeltaBuffer:
+    """Buffered updates against a :class:`~repro.service.index.PartitionIndex`.
+
+    ``capacity`` bounds the number of buffered operations; reaching it
+    flushes automatically (queries also flush).  The buffer's memory
+    footprint is charged to the index's resident lease.
+    """
+
+    def __init__(self, index: "PartitionIndex", capacity: int | None = None):
+        m = index._machine
+        if capacity is None:
+            capacity = max(m.B, m.M // 8)
+        if capacity < 1:
+            raise SpecError("delta buffer capacity must be >= 1")
+        self._index = index
+        self.capacity = int(capacity)
+        self._appends: list[np.ndarray] = []
+        self._n_appends = 0
+        self._deletes: list[int] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of buffered operations."""
+        return self._n_appends + len(self._deletes)
+
+    @property
+    def resident_records(self) -> int:
+        """Records of machine memory the buffer occupies."""
+        return self._n_appends + len(self._deletes)
+
+    @property
+    def net_delta(self) -> int:
+        """Pending change to the index's live size."""
+        return self._n_appends - len(self._deletes)
+
+    # ------------------------------------------------------------------
+    def append_keys(self, keys) -> None:
+        """Buffer new elements with the given keys (fresh uids)."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        if keys.size == 0:
+            return
+        recs = make_records(keys, uids=self._index._fresh_uids(len(keys)))
+        self._appends.append(recs)
+        self._n_appends += len(recs)
+        self._index._sync_resident()
+        if len(self) >= self.capacity:
+            self.flush()
+
+    def delete_key(self, key: int) -> None:
+        """Buffer the deletion of one live element with key ``key``."""
+        self._deletes.append(int(key))
+        self._index._sync_resident()
+        if len(self) >= self.capacity:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> dict:
+        """Apply every buffered update; returns per-flush statistics.
+
+        A failed delete (key not present) raises :class:`SpecError`
+        after the batch's appends have already been applied — the buffer
+        is cleared up to the failing operation.
+        """
+        idx = self._index
+        m = idx._machine
+        appends, self._appends, self._n_appends = self._appends, [], 0
+        deletes, self._deletes = self._deletes, []
+        idx._sync_resident()
+        n_app = sum(len(a) for a in appends)
+        touched: set[int] = set()
+        with m.phase("svc-update"):
+            if n_app:
+                batch = (
+                    appends[0]
+                    if len(appends) == 1
+                    else np.concatenate(appends)
+                )
+                touched |= self._apply_appends(batch)
+            for key in deletes:
+                touched.add(self._apply_delete(key))
+            idx._drift += n_app + len(deletes)
+            idx._rebalance(touched)
+        idx.stats["update_flushes"] += 1
+        rebuilt = False
+        if idx._drift > idx.rebuild_threshold * max(1, idx._n0):
+            idx._rebuild()
+            rebuilt = True
+        idx._sync_resident()
+        return {
+            "appended": n_app,
+            "deleted": len(deletes),
+            "touched_partitions": len(touched),
+            "rebuilt": rebuilt,
+        }
+
+    # ------------------------------------------------------------------
+    def _apply_appends(self, batch: np.ndarray) -> set[int]:
+        """Route ``batch`` to overflow segments; returns touched indices."""
+        idx = self._index
+        m = idx._machine
+        splitters = idx._splitters
+        comps = composite(batch)
+        j_of = np.searchsorted(splitters, comps, side="left")
+        cmp_search(m, len(batch), max(1, len(splitters)))
+        touched: set[int] = set()
+        for j in np.unique(j_of):
+            recs = batch[j_of == j]
+            part = idx._parts[int(j)]
+            writer = BlockWriter(m, "svc-append")
+            try:
+                writer.write(recs)
+                seg = writer.close()
+            except BaseException:
+                writer.abort()
+                raise
+            part.segments.append(seg)
+            part.stored += len(recs)
+            touched.add(int(j))
+        idx._n_live += len(batch)
+        return touched
+
+    def _apply_delete(self, key: int) -> int:
+        """Tombstone one live record with ``key``; returns its partition.
+
+        Duplicate keys equal to a splitter key can straddle a partition
+        boundary, so every candidate partition between the key's lowest
+        and highest possible composite is scanned until a live victim is
+        found.
+        """
+        idx = self._index
+        m = idx._machine
+        splitters = idx._splitters
+        j_lo = int(np.searchsorted(splitters, composite_of(key, 0), "left"))
+        j_hi = int(
+            np.searchsorted(splitters, composite_of(key, UID_MAX), "left")
+        )
+        cmp_search(m, 2, max(1, len(splitters)))
+        for j in range(j_lo, min(j_hi, len(idx._parts) - 1) + 1):
+            part = idx._parts[j]
+            for seg in part.segments:
+                with BlockReader(seg, "svc-delete-scan") as reader:
+                    for block in reader:
+                        cmp_linear(m, len(block))
+                        hits = block[block["key"] == key]
+                        for rec in hits:
+                            c = composite_of(int(rec["key"]), int(rec["uid"]))
+                            if c not in part.tombstones:
+                                part.tombstones.add(c)
+                                idx._n_live -= 1
+                                idx._sync_resident()
+                                return j
+        raise SpecError(f"delete: no live element with key {key}")

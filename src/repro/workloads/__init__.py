@@ -1,5 +1,12 @@
 """Seeded workload generators for experiments and tests."""
 
+from .queries import (
+    QUERY_TRACES,
+    adversarial_trace,
+    mixed_query_trace,
+    uniform_trace,
+    zipfian_trace,
+)
 from .generators import (
     nearly_sorted,
     organ_pipe,
@@ -28,4 +35,9 @@ __all__ = [
     "sorted_keys",
     "uniform_random",
     "zipf_like",
+    "QUERY_TRACES",
+    "adversarial_trace",
+    "mixed_query_trace",
+    "uniform_trace",
+    "zipfian_trace",
 ]

@@ -1,0 +1,136 @@
+"""Seeded query-trace generators for the online partition service.
+
+A *rank trace* is a 1-based ``np.int64`` array of length ``q``: the
+sequence of ``select`` ranks a client issues against a file of ``n``
+records.  Three shapes matter for the online engine
+(:mod:`repro.service.online`):
+
+* :func:`uniform_trace` — every rank equally likely; the engine must
+  eventually refine everywhere, so total I/O approaches the offline
+  splitter cost.
+* :func:`zipfian_trace` — a few hot ranks dominate; refinements
+  concentrate where queries land and repeats hit the pivot-tree cache,
+  the regime where lazy refinement wins big.
+* :func:`adversarial_trace` — evenly spaced ranks visited in
+  bit-reversed order: each query lands as far as possible from every
+  previously refined region, forcing the fastest possible spread of
+  refinement work (the worst case for laziness).
+
+:func:`mixed_query_trace` additionally produces a mixed-kind trace
+(selects, quantiles, range counts, partition lookups) as plain tuples
+that :class:`repro.service.frontend.QueryFrontend` accepts directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_trace",
+    "zipfian_trace",
+    "adversarial_trace",
+    "mixed_query_trace",
+    "QUERY_TRACES",
+]
+
+#: Large odd multiplier (Knuth) scattering consecutive ids across [0, n).
+_SCATTER = 2654435761
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform_trace(q: int, n: int, seed: int = 0) -> np.ndarray:
+    """``q`` ranks drawn uniformly from ``[1, n]``."""
+    if n < 1 or q < 0:
+        raise ValueError("need n >= 1 and q >= 0")
+    return _rng(seed).integers(1, n + 1, size=q).astype(np.int64)
+
+
+def zipfian_trace(
+    q: int, n: int, seed: int = 0, alpha: float = 1.1
+) -> np.ndarray:
+    """``q`` ranks with Zipf(``alpha``) popularity over distinct ranks.
+
+    The ``i``-th most popular *identity* is drawn with probability
+    ``∝ i^-alpha``; identities are scattered across ``[1, n]`` by a
+    multiplicative hash so the hot set is spread over the whole file
+    (hitting one partition repeatedly would be too easy).
+    """
+    if n < 1 or q < 0:
+        raise ValueError("need n >= 1 and q >= 0")
+    if alpha <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    ids = _rng(seed).zipf(alpha, size=q).astype(np.int64)
+    return ((ids - 1) * _SCATTER) % n + 1
+
+
+def _bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def adversarial_trace(q: int, n: int, seed: int = 0) -> np.ndarray:
+    """``q`` evenly spaced ranks visited in bit-reversed order.
+
+    Successive queries land in maximally separated regions of the rank
+    space, so a lazy engine can never serve two consecutive queries from
+    one refined partition — the refinement-forcing worst case.  The
+    ``seed`` rotates the starting offset (the shape itself is
+    deterministic).
+    """
+    if n < 1 or q < 0:
+        raise ValueError("need n >= 1 and q >= 0")
+    if q == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = max(1, int(np.ceil(np.log2(q))))
+    order = [_bit_reverse(i, bits) for i in range(1 << bits)]
+    order = [i for i in order if i < q]
+    even = np.linspace(1, n, q).astype(np.int64)
+    rot = int(_rng(seed).integers(0, q))
+    return even[(np.array(order, dtype=np.int64) + rot) % q]
+
+
+def mixed_query_trace(
+    q: int, n: int, seed: int = 0, key_range: int | None = None
+) -> list[tuple]:
+    """A mixed trace of query tuples over a file of ``n`` records.
+
+    Roughly half selects (zipfian ranks), a quarter quantiles, and the
+    rest split between range counts and partition lookups.  Tuples use
+    the :class:`repro.service.frontend.Query` wire shapes:
+    ``("select", rank)``, ``("quantile", q)``,
+    ``("range_count", lo, hi)``, ``("partition_of", key)``.
+    """
+    if n < 1 or q < 0:
+        raise ValueError("need n >= 1 and q >= 0")
+    if key_range is None:
+        key_range = 4 * n
+    rng = _rng(seed)
+    ranks = zipfian_trace(q, n, seed=seed + 1)
+    out: list[tuple] = []
+    for i in range(q):
+        roll = rng.random()
+        if roll < 0.5:
+            out.append(("select", int(ranks[i])))
+        elif roll < 0.75:
+            out.append(("quantile", float(np.round(rng.random(), 3))))
+        elif roll < 0.9:
+            lo = int(rng.integers(0, key_range))
+            hi = int(rng.integers(lo, key_range))
+            out.append(("range_count", lo, hi))
+        else:
+            out.append(("partition_of", int(rng.integers(0, key_range))))
+    return out
+
+
+#: Registry of named rank traces: name -> ``fn(q, n, seed) -> ranks``.
+QUERY_TRACES = {
+    "uniform": uniform_trace,
+    "zipfian": zipfian_trace,
+    "adversarial": adversarial_trace,
+}

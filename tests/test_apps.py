@@ -28,9 +28,18 @@ class TestHistogram:
         for probe in [keys[0], keys[len(keys) // 3], keys[-1], -1, 10**7]:
             true_rank = int(np.searchsorted(keys, probe, side="right"))
             lo, hi = hist.rank_bounds(int(probe))
-            # Duplicate keys at bucket boundaries can smear the bucket
-            # assignment by one bucket width.
-            assert lo - hist.b <= true_rank <= hi + hist.b
+            # The bounds are certain — no duplicate-key smear allowance.
+            assert lo <= true_rank <= hi
+
+    def test_rank_bounds_certain_on_every_key(self):
+        """The bounds hold for *every* data key, including duplicates of
+        bucket-boundary values (the historical off-by-one)."""
+        _, recs, hist = self._build(slack=0.25, gen=zipf_like)
+        keys = np.sort(recs["key"])
+        for probe in np.unique(keys):
+            true_rank = int(np.searchsorted(keys, probe, side="right"))
+            lo, hi = hist.rank_bounds(int(probe))
+            assert lo <= true_rank <= hi, f"key {probe}"
 
     def test_rank_estimate_within_error(self):
         _, recs, hist = self._build(slack=0.0)
@@ -54,6 +63,32 @@ class TestHistogram:
         _, _, hist = self._build()
         with pytest.raises(SpecError):
             hist.selectivity_bounds(10, 5)
+
+    def test_rank_bounds_boundary_duplicate_spill(self):
+        """Duplicates of a boundary key spilling into the next bucket.
+
+        Keys ``1,1,1,5,5,5,5,5,9`` with exact thirds put boundaries at
+        ``[1, 5]``, yet five copies of the boundary key 5 reach rank 8 —
+        past its own bucket.  The old ``side="left"`` boundary count
+        capped ``hi`` at 6 here, excluding the true rank.
+        """
+        from repro.em import make_records
+
+        mach = Machine(memory=4096, block=64)
+        keys = np.array([1, 1, 1, 5, 5, 5, 5, 5, 9], dtype=np.int64)
+        rng = np.random.default_rng(3)
+        recs = make_records(rng.permutation(keys))
+        f = load_input(mach, recs)
+        hist = build_histogram(mach, f, 3, slack=0.0)
+        assert list(hist.boundaries) == [1, 5]
+        sorted_keys = np.sort(keys)
+        for probe in [0, 1, 2, 5, 6, 9, 10]:
+            true_rank = int(np.searchsorted(sorted_keys, probe, side="right"))
+            lo, hi = hist.rank_bounds(probe)
+            assert lo <= true_rank <= hi, f"key {probe}"
+        # Selectivity inherits the fix: (1, 5] really holds 5 of 9.
+        s_lo, s_hi = hist.selectivity_bounds(1, 5)
+        assert s_lo <= 5 / 9 <= s_hi
 
     def test_skewed_data(self):
         _, recs, hist = self._build(gen=zipf_like, slack=0.5)
@@ -201,6 +236,57 @@ class TestOrderStats:
         keys = np.sort(recs["key"])
         assert percentile(mach, f, 0.0) == keys[0]
         assert percentile(mach, f, 1.0) == keys[-1]
+
+    def test_percentiles_one_multiselect_io(self):
+        """Many quantiles cost one batched multi-selection, not a loop.
+
+        Pinned exactly: the ``percentiles`` I/O equals one
+        ``multi_select`` over the same ranks, and undercuts looping
+        ``percentile`` per quantile.
+        """
+        from repro.apps import percentile, percentiles
+        from repro.apps.order_stats import rank_of_fraction
+        from repro.core import multi_select
+
+        qs = [i / 10 for i in range(1, 10)]
+        mach, recs, f = self._setup()
+        mach.reset_counters()
+        got = percentiles(mach, f, qs)
+        batched_io = mach.io.total
+
+        mach2, _, f2 = self._setup()
+        ranks = np.array(
+            [rank_of_fraction(len(recs), q) for q in qs], dtype=np.int64
+        )
+        mach2.reset_counters()
+        multi_select(mach2, f2, ranks)
+        assert batched_io == mach2.io.total
+
+        mach3, _, f3 = self._setup()
+        mach3.reset_counters()
+        looped = [percentile(mach3, f3, q) for q in qs]
+        assert looped == got
+        assert batched_io < mach3.io.total / 2
+
+    def test_percentiles_via_partition_index(self):
+        """Routing through a built PartitionIndex gives the same answers
+        for far less I/O than the from-scratch multi-selection."""
+        from repro.apps import percentiles
+        from repro.service import PartitionIndex
+
+        qs = [i / 10 for i in range(1, 10)]
+        mach, recs, f = self._setup()
+        mach.reset_counters()
+        plain = percentiles(mach, f, qs)
+        plain_io = mach.io.total
+
+        with PartitionIndex.build(mach, f, 16) as index:
+            mach.reset_counters()
+            routed = percentiles(mach, f, qs, index=index)
+            routed_io = mach.io.total
+        assert routed == plain
+        assert routed_io < plain_io
+        assert percentiles(mach, f, [], index=None) == []
 
     def test_trimmed_mean_matches_numpy(self):
         from repro.apps import trimmed_mean

@@ -163,13 +163,13 @@ class TestReport:
         assert "paper vs. measured" in first_doc
         data = json.loads(results.read_text())
         assert data["passed"] and data["quick"]
-        assert len(data["experiments"]) == 20
+        assert len(data["experiments"]) == 21
         assert all(not e["cached"] for e in data["experiments"])
         capsys.readouterr()
 
         # Second invocation: served entirely from cache, byte-identical.
         assert main(argv) == 0
-        assert "20 cached" in capsys.readouterr().out
+        assert "21 cached" in capsys.readouterr().out
         assert out.read_text() == first_doc
         data = json.loads(results.read_text())
         assert all(e["cached"] for e in data["experiments"])
@@ -182,7 +182,7 @@ class TestReport:
                 "--cache-dir", str(tmp_path / "cache")]
         assert main(argv) == 0
         assert not (tmp_path / "cache").exists()
-        assert "20 run, 0 cached" in capsys.readouterr().out
+        assert "21 run, 0 cached" in capsys.readouterr().out
 
 
 class TestTrace:
@@ -224,6 +224,66 @@ class TestBudgetsCli:
         assert f"wrote {path}" in out and "budget gate: PASS" in out
         doc = json.loads(path.read_text())
         assert doc["budgets"]
+
+
+class TestServiceVerbs:
+    def test_query_batch(self, capsys):
+        rc = main(["query", "--n", "5000", "--k", "8",
+                   "select:100", "select:100", "quantile:0.5",
+                   "range:10:2000", "part:42"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "select 100 -> key=" in out
+        assert "range_count (10, 2000] ->" in out
+        assert "2 distinct ranks" in out  # 2 selects + quantile collapse
+
+    def test_query_eager_engine(self, capsys):
+        rc = main(["query", "--engine", "eager", "--n", "2000", "--k", "4",
+                   "select:1", "quantile:1.0"])
+        assert rc == 0
+        assert "engine=eager" in capsys.readouterr().out
+
+    def test_query_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--n", "100", "--k", "2", "argmax:4"])
+
+    def test_serve_script(self, capsys, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "# warm up\nselect 10 20\nquantile 0.5\nrange 5 500\n"
+            "append 1 2 3\ndelete 1\nflush\nselect 1\nstats\nquit\n"
+        )
+        rc = main(["serve", "--n", "1000", "--k", "4",
+                   "--input", str(script)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "partition service up" in out
+        assert "buffered 3 appends" in out
+        assert "update flush" in out
+        assert "served 5 queries" in out
+
+    def test_serve_releases_all_blocks(self, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("select 5\nbogus\nquit\n")
+        machines = []
+        with observe_machines(machines.append):
+            rc = main(["serve", "--n", "500", "--k", "2", "--engine",
+                       "lazy", "--input", str(script)])
+        assert rc == 1  # the bogus command is reported
+        (machine,) = machines
+        assert machine.disk.live_blocks == 0
+        assert machine.memory.in_use == 0
+
+    def test_bench_queries_quick(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.txt"
+        rc = main(["bench-queries", "--quick", "--n", "20000", "--k", "16",
+                   "--queries", "48", "--out", str(out_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "answers identical to offline          : yes" in out
+        assert "PASS" in out
+        assert out_file.exists()
+        assert "online / offline" in out_file.read_text()
 
 
 class TestApiDocs:
