@@ -60,6 +60,13 @@ MODULES = [
     "repro.obs.export",
     "repro.obs.solvers",
     "repro.obs.budget",
+    "repro.lint.findings",
+    "repro.lint.engine",
+    "repro.lint.rules_access",
+    "repro.lint.rules_cpu",
+    "repro.lint.rules_rng",
+    "repro.lint.rules_lease",
+    "repro.lint.runner",
     "repro.apps.histogram",
     "repro.apps.load_balance",
     "repro.apps.order_stats",
@@ -102,6 +109,15 @@ see ``repro <command> --help`` for every flag.
   check every registered solver against `benchmarks/budgets.json`, or
   recalibrate and rewrite the envelopes after an intentional cost
   change.
+- `repro lint [PATH ...] [--json] [--rule RULE ...]` — run the emlint
+  EM-conformance rules (`repro.lint`, rules R1–R5) over the source
+  tree; exits non-zero on any active error-severity finding (see
+  `docs/LINTING.md` for the rule catalog and suppression policy).
+- `repro sanitize-check [--solver NAME ...]` — arm the runtime
+  sanitizer: deliberately fire every trap (use-after-free, double-free,
+  uninitialized read, double release, lease leak), then run the
+  registered solvers under `Machine(sanitize=True)` with the tracer's
+  counter-conservation check.
 - `repro serve` / `repro query` / `repro bench-queries` — the online
   partition service (`repro.service`): an interactive query loop over
   stdin, a one-shot coalesced query batch, and the online-vs-offline

@@ -97,7 +97,7 @@ class PartitionedFile:
         verification use only."""
         out: list[np.ndarray] = []
         for p in range(self.num_partitions):
-            parts = [seg.to_numpy(counted=False) for seg in self.segments_of(p)]
+            parts = [seg.to_numpy(counted=False) for seg in self.segments_of(p)]  # emlint: disable=R2 — verification-only, documented uncounted
             out.append(concat_records(parts) if parts else empty_records(0))
         return out
 

@@ -26,7 +26,7 @@ import numpy as np
 from ..em.comparisons import cmp_search, cmp_sort
 from ..em.errors import SpecError
 from ..em.file import EMFile
-from ..em.records import composite, sort_records
+from ..em.records import composite, empty_records, sort_records
 from ..em.streams import BlockReader
 from ..bounds.probabilistic import sample_size_for_window
 from .inmemory import select_at_ranks
@@ -123,7 +123,7 @@ def randomized_splitters(
         sampler = reservoir_sample
     n = len(file)
     if k == 1:
-        return file.to_numpy(counted=False)[:0], 1
+        return empty_records(0), 1
     # The δ-calibrated sample must be memory-resident; cap it at M/2.
     # Correctness is unaffected (the verification scan rejects bad
     # draws) — a capped sample only raises the expected attempt count.

@@ -140,6 +140,7 @@ def approx_quantile_pivots(
             pivots = select_at_ranks(
                 machine, file.to_numpy(counted=True), positions
             )
+            cmp_sort(machine, len(pivots))
             return sort_records(pivots)
     per_chunk = oversample * n_pivots
     # Geometric shrinkage guard: the sample file must be at most half the

@@ -37,12 +37,13 @@ def _group_medians(chunk: np.ndarray) -> np.ndarray:
     parts = []
     if full:
         groups = chunk[:full].reshape(-1, 5)
-        order = np.argsort(composite(groups), axis=1)
+        # Pure helper: the caller charges cmp_median5 for the whole chunk.
+        order = np.argsort(composite(groups), axis=1)  # emlint: disable=R3
         med = groups[np.arange(len(groups)), order[:, 2]]
         parts.append(med)
     rest = chunk[full:]
     if len(rest):
-        rest = sort_records(rest)
+        rest = sort_records(rest)  # emlint: disable=R3 — covered by the caller's cmp_median5 charge
         parts.append(rest[(len(rest) - 1) // 2 : (len(rest) - 1) // 2 + 1])
     if not parts:
         return chunk[:0]

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..em.comparisons import cmp_sort
 from ..em.errors import SpecError
 from ..em.file import EMFile
 from ..core.spec import validate_params
@@ -170,6 +171,9 @@ def build_histogram(
         b = min(n, max(int(np.ceil((1 + slack) * per)), -(-n // k)))
     validate_params(n, k, a, b)
     result = approximate_splitters(machine, file, k, a, b)
+    # Some variants (e.g. right-grounded/trivial) return unsorted
+    # splitters, so this sort is load-bearing and charged.
+    cmp_sort(machine, len(result.splitters))
     return EquiDepthHistogram(
         boundaries=np.sort(result.splitters["key"].copy()),
         n=n,

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..em.errors import SpecError
 from ..em.file import EMFile
+from ..em.records import empty_records
 from ..em.streams import BlockReader, BlockWriter
 from ..alg.partitioned import PartitionedFile
 from ..alg.sort import external_sort
@@ -69,7 +70,7 @@ def sort_based_splitters(
         sorted_file = external_sort(machine, file)
         try:
             if k == 1:
-                splitters = sorted_file.to_numpy(counted=False)[:0]
+                splitters = empty_records(0)
             else:
                 ranks = (np.arange(1, k, dtype=np.int64) * n) // k
                 splitters = _read_ranks_from_sorted(machine, sorted_file, ranks)

@@ -25,6 +25,14 @@ Subcommands:
 ``repro budgets [--check | --write] [--path FILE] [--headroom H]``
     Check every registered solver against its committed I/O envelope
     (the regression gate), or recalibrate and rewrite the envelopes.
+``repro lint [PATH ...] [--json] [--rule RULE ...]``
+    Run the emlint EM-conformance rules (R1–R5) over the source tree;
+    non-zero exit on any active error-severity finding.
+``repro sanitize-check [--solver NAME ...] [--n N] ...``
+    Arm the runtime sanitizer: fire every trap (use-after-free,
+    double-free, uninitialized read, double release, lease leak), then
+    run the registered solvers under ``Machine(sanitize=True)`` with
+    the tracer's counter-conservation check enabled.
 ``repro serve --n N --k K [--engine eager|lazy] ...``
     Interactive partition service: build an index over a generated
     workload and answer queries (and, with the eager engine, apply
@@ -288,6 +296,145 @@ def _cmd_budgets(args) -> int:
     checks = check_budgets(path)
     print(render_budget_report(checks))
     return 0 if all(c.ok for c in checks) else 1
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint_paths
+
+    rule_ids = None
+    if args.rule:
+        rule_ids = [
+            r.strip()
+            for spec in args.rule
+            for r in spec.split(",")
+            if r.strip()
+        ]
+    paths = args.paths or None
+    try:
+        report = lint_paths(paths, rule_ids=rule_ids)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _sanitize_trap_checks() -> list[tuple[str, bool]]:
+    """Deliberately trigger every sanitizer trap on a throwaway machine.
+
+    Returns ``(trap name, fired)`` pairs — each trap must raise its
+    specific :class:`~repro.em.errors.SanitizerError` subclass.
+    """
+    from .em import (
+        DoubleFreeError,
+        DoubleReleaseError,
+        LeaseLeakError,
+        Machine,
+        UninitializedReadError,
+        UseAfterFreeError,
+    )
+    from .em.records import make_records
+
+    results: list[tuple[str, bool]] = []
+
+    def trap(name: str, exc_type, fn) -> None:
+        machine = Machine(memory=256, block=8, sanitize=True)
+        try:
+            fn(machine)
+        except exc_type:
+            results.append((name, True))
+        else:
+            results.append((name, False))
+
+    data = make_records(np.arange(8))
+
+    def use_after_free(machine):
+        (bid,) = machine.disk.allocate(1)
+        machine.disk.write(bid, data)
+        machine.disk.free([bid])
+        machine.disk.read(bid)
+
+    def double_free(machine):
+        (bid,) = machine.disk.allocate(1)
+        machine.disk.write(bid, data)
+        machine.disk.free([bid])
+        machine.disk.free([bid])
+
+    def uninitialized_read(machine):
+        (bid,) = machine.disk.allocate(1)
+        machine.disk.read(bid)
+
+    def double_release(machine):
+        lease = machine.memory.lease(8, "trap")  # emlint: disable=R5 — deliberate trap fixture
+        lease.release()
+        lease.release()
+
+    def lease_leak(machine):
+        machine.memory.lease(8, "leak")  # emlint: disable=R5 — deliberate trap fixture
+        machine.close()
+
+    trap("use-after-free", UseAfterFreeError, use_after_free)
+    trap("double-free", DoubleFreeError, double_free)
+    trap("uninitialized-read", UninitializedReadError, uninitialized_read)
+    trap("double-release", DoubleReleaseError, double_release)
+    trap("lease-leak", LeaseLeakError, lease_leak)
+    return results
+
+
+def _cmd_sanitize_check(args) -> int:
+    from .em import Machine
+    from .em.errors import SanitizerError
+    from .obs import Tracer
+    from .obs.solvers import SOLVERS
+    from .workloads.generators import load_input, random_permutation
+
+    failures = 0
+
+    print("sanitizer traps (each must fire):")
+    for name, fired in _sanitize_trap_checks():
+        print(f"  {name:22s} {'PASS' if fired else 'FAIL (did not raise)'}")
+        failures += 0 if fired else 1
+
+    names = args.solver or sorted(SOLVERS)
+    unknown = set(names) - set(SOLVERS)
+    if unknown:
+        print(f"unknown solvers: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    print("\nsolvers under Machine(sanitize=True) + conservation check:")
+    for name in names:
+        solver = SOLVERS[name]
+        params = dict(solver.defaults)
+        for key in ("n", "memory", "block"):
+            if getattr(args, key) is not None:
+                params[key] = getattr(args, key)
+        machine = Machine(
+            memory=params["memory"], block=params["block"], sanitize=True
+        )
+        file = load_input(
+            machine, random_permutation(params["n"], seed=params["seed"])
+        )
+        machine.reset_counters()
+        tracer = Tracer()
+        tracer.attach(machine)
+        try:
+            outcome = solver.run(machine, file, params)
+            file.free()
+            tracer.detach(machine)  # conservation check fires here
+            machine.close()  # lease-leak check fires here
+        except SanitizerError as exc:
+            failures += 1
+            print(f"  {name:22s} FAIL {type(exc).__name__}: {exc}")
+        except Exception as exc:  # incompatible overrides, solver bugs
+            failures += 1
+            print(f"  {name:22s} ERROR {type(exc).__name__}: {exc}")
+        else:
+            print(f"  {name:22s} PASS {outcome}")
+
+    print(f"\nsanitize-check: {'PASS' if failures == 0 else f'{failures} FAILURE(S)'}")
+    return 0 if failures == 0 else 1
 
 
 def _build_service(args):
@@ -692,6 +839,36 @@ def main(argv: list[str] | None = None) -> int:
         help="envelope headroom over the measured ratio when writing",
     )
 
+    lint_p = sub.add_parser(
+        "lint", help="run the emlint EM-conformance rules over the source"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable findings instead of the text report",
+    )
+    lint_p.add_argument(
+        "--rule", action="append", default=None, metavar="RULE",
+        help="restrict to these rule ids (repeatable, comma-separable)",
+    )
+
+    sanitize_p = sub.add_parser(
+        "sanitize-check",
+        help="arm the runtime sanitizer: fire every trap, then run the "
+        "registered solvers under Machine(sanitize=True)",
+    )
+    sanitize_p.add_argument(
+        "--solver", action="append", default=None, choices=sorted(SOLVERS),
+        metavar="NAME",
+        help="solver(s) to run (repeatable; default: all registered)",
+    )
+    sanitize_p.add_argument("--n", type=int, default=None)
+    sanitize_p.add_argument("--memory", type=int, default=None, help="M (records)")
+    sanitize_p.add_argument("--block", type=int, default=None, help="B (records)")
+
     def _service_args(p, engine_default: str) -> None:
         p.add_argument("--n", type=int, default=65_536)
         p.add_argument("--k", type=int, default=64)
@@ -771,6 +948,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "budgets":
         return _cmd_budgets(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sanitize-check":
+        return _cmd_sanitize_check(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "query":

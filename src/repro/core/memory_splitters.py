@@ -37,8 +37,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..em.comparisons import cmp_sort
 from ..em.file import EMFile
-from ..em.records import composite, sort_records
+from ..em.records import composite, empty_records, sort_records
 from ..alg.distribute import distribute_by_pivots
 from ..alg.sampling import (
     approx_quantile_pivots,
@@ -89,7 +90,7 @@ def memory_splitters(
         n_buckets = default_bucket_count(machine)
     n_buckets = max(1, min(n_buckets, n))
     if n_buckets == 1:
-        return file.to_numpy(counted=False)[:0]
+        return empty_records(0)
 
     limit = machine.load_limit
     if n <= limit:
@@ -110,6 +111,7 @@ def memory_splitters(
             pivots = select_at_ranks(
                 machine, file.to_numpy(counted=True), positions
             )
+            cmp_sort(machine, len(pivots))
             return sort_records(pivots)
 
     # Single-level fast path: when a high-oversample sampling cascade can
@@ -144,6 +146,7 @@ def memory_splitters(
 
     splitters = np.concatenate(all_pivots)
     with machine.memory.lease(len(splitters), "ms-result"):
+        cmp_sort(machine, len(splitters))
         order = np.argsort(composite(splitters), kind="stable")
         splitters = splitters[order]
     return splitters

@@ -174,7 +174,8 @@ def _base_case(machine: "Machine", file: EMFile, ranks: np.ndarray) -> np.ndarra
 def _buckets_of(block: np.ndarray, splitter_comps: np.ndarray) -> np.ndarray:
     """Partition index of each record: ``#{splitters < e}`` (so that
     ``P_j = S ∩ (s_{j-1}, s_j]`` as in the paper)."""
-    return np.searchsorted(splitter_comps, composite(block), side="left")
+    # Pure helper: every caller charges cmp_search for this searchsorted.
+    return np.searchsorted(splitter_comps, composite(block), side="left")  # emlint: disable=R3
 
 
 # ----------------------------------------------------------------------

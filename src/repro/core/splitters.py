@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..em.comparisons import cmp_linear
+from ..em.comparisons import cmp_linear, cmp_sort
 from ..em.errors import SpecError
 from ..em.file import EMFile
 from ..em.records import composite, composite_of, concat_records, empty_records
@@ -110,7 +110,7 @@ def right_grounded_splitters(
             splitters = multi_select(machine, s_prime, ranks)
         finally:
             s_prime.free()
-    return SplitterResult(_sorted(splitters), params, "right-grounded")
+    return SplitterResult(_sorted(machine, splitters), params, "right-grounded")
 
 
 # ----------------------------------------------------------------------
@@ -134,7 +134,7 @@ def left_grounded_splitters(
                 machine, file, k - k_prime, exclude=main
             )
             main = concat_records([main, pad])
-    return SplitterResult(_sorted(main), params, "left-grounded")
+    return SplitterResult(_sorted(machine, main), params, "left-grounded")
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +155,7 @@ def two_sided_splitters(
             ranks = (np.arange(1, k, dtype=np.int64) * n) // k
             splitters = multi_select(machine, file, ranks)
         return SplitterResult(
-            _sorted(splitters), params, "two-sided/quantile-fallback"
+            _sorted(machine, splitters), params, "two-sided/quantile-fallback"
         )
 
     k_prime = (b * k - n) // (b - a)
@@ -188,13 +188,15 @@ def two_sided_splitters(
         finally:
             low_file.free()
             high_file.free()
-    return SplitterResult(_sorted(splitters), params, "two-sided")
+    return SplitterResult(_sorted(machine, splitters), params, "two-sided")
 
 
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
-def _sorted(records: np.ndarray) -> np.ndarray:
+def _sorted(machine: "Machine", records: np.ndarray) -> np.ndarray:
+    """Sort the (small, memory-resident) splitter list, charged."""
+    cmp_sort(machine, len(records))
     order = np.argsort(composite(records), kind="stable")
     return records[order]
 

@@ -9,16 +9,29 @@ from .disk import Disk, IOCounters
 from .errors import (
     BadBlockError,
     BlockSizeError,
+    CounterConservationError,
     DiskError,
+    DoubleFreeError,
+    DoubleReleaseError,
     EMError,
     FileError,
     LeaseError,
+    LeaseLeakError,
     MemoryBudgetError,
+    SanitizerError,
     SpecError,
     StreamError,
+    UninitializedReadError,
+    UseAfterFreeError,
 )
 from .file import EMFile
-from .machine import Machine, MemoryAccountant, MemoryLease, observe_machines
+from .machine import (
+    Machine,
+    MemoryAccountant,
+    MemoryLease,
+    observe_machines,
+    sanitize_default,
+)
 from .records import (
     KEY_MAX,
     KEY_MIN,
@@ -75,4 +88,12 @@ __all__ = [
     "FileError",
     "StreamError",
     "SpecError",
+    "SanitizerError",
+    "UseAfterFreeError",
+    "DoubleFreeError",
+    "UninitializedReadError",
+    "LeaseLeakError",
+    "DoubleReleaseError",
+    "CounterConservationError",
+    "sanitize_default",
 ]

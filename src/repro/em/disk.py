@@ -27,7 +27,13 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from .errors import BadBlockError, BlockSizeError
+from .errors import (
+    BadBlockError,
+    BlockSizeError,
+    DoubleFreeError,
+    UninitializedReadError,
+    UseAfterFreeError,
+)
 from .records import RECORD_DTYPE
 
 __all__ = ["Disk", "IOCounters"]
@@ -92,10 +98,18 @@ class Disk:
     mutate disk state without paying a write.
     """
 
-    def __init__(self, block_size: int) -> None:
+    def __init__(self, block_size: int, *, sanitize: bool = False) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         self._B = int(block_size)
+        # Strict sanitizer mode: track freed / written block ids so
+        # use-after-free, double-free, and reads of never-written blocks
+        # raise specific SanitizerErrors instead of the generic (or no)
+        # error.  Off by default — the sets are only populated when on,
+        # so lenient mode pays nothing.
+        self._sanitize = bool(sanitize)
+        self._freed_ids: set[int] = set()
+        self._written_ids: set[int] = set()
         self._blocks: dict[int, np.ndarray] = {}
         # Physical layout hints for the batched fast path: block id ->
         # (arena array, record offset).  Blocks written in one
@@ -136,6 +150,27 @@ class Disk:
     def block_size(self) -> int:
         """Records per block (the model's ``B``)."""
         return self._B
+
+    @property
+    def sanitize(self) -> bool:
+        """True when the strict runtime sanitizer is enabled."""
+        return self._sanitize
+
+    def _check_block(self, block_id: int, *, for_read: bool) -> None:
+        """Sanitize-mode block validation (no-op when the block exists
+        and, for reads, has been written at least once)."""
+        if block_id in self._freed_ids:
+            raise UseAfterFreeError(
+                f"block {block_id} was freed and must not be "
+                f"{'read' if for_read else 'written'} again"
+            )
+        if block_id not in self._blocks:
+            raise BadBlockError(f"block {block_id} is not allocated")
+        if for_read and block_id not in self._written_ids:
+            raise UninitializedReadError(
+                f"block {block_id} was allocated but never written; "
+                f"reading it would return garbage"
+            )
 
     @property
     def counters(self) -> IOCounters:
@@ -317,6 +352,10 @@ class Disk:
         seen: set[int] = set()
         for bid in block_ids:
             if bid not in self._blocks:
+                if self._sanitize and bid in self._freed_ids:
+                    raise DoubleFreeError(
+                        f"block {bid} has already been freed"
+                    )
                 raise BadBlockError(f"block {bid} is not allocated")
             if bid in seen:
                 raise BadBlockError(f"block {bid} appears twice in free list")
@@ -324,11 +363,16 @@ class Disk:
         for bid in block_ids:
             del self._blocks[bid]
             self._origin.pop(bid, None)
+        if self._sanitize:
+            self._freed_ids.update(seen)
+            self._written_ids.difference_update(seen)
         for obs in self._observers:
             obs.on_blocks(len(self._blocks))
 
     def read(self, block_id: int) -> np.ndarray:
         """Read one block; counts one read I/O.  Returns a copy."""
+        if self._sanitize:
+            self._check_block(block_id, for_read=True)
         try:
             data = self._blocks[block_id]
         except KeyError:
@@ -343,6 +387,8 @@ class Disk:
     def write(self, block_id: int, data: np.ndarray) -> None:
         """Write one block; counts one write I/O.  Stores a copy."""
         if block_id not in self._blocks:
+            if self._sanitize:
+                self._check_block(block_id, for_read=False)
             raise BadBlockError(f"block {block_id} is not allocated")
         if data.dtype != RECORD_DTYPE:
             raise BlockSizeError("block payload must be a record array")
@@ -356,6 +402,8 @@ class Disk:
         stored = data.copy()
         self._blocks[block_id] = stored
         self._origin[block_id] = (stored, 0)
+        if self._sanitize:
+            self._written_ids.add(block_id)
 
     # ------------------------------------------------------------------
     # Batched block operations
@@ -386,7 +434,10 @@ class Disk:
         run_arena: np.ndarray | None = None
         run_off = 0  # record offset of the run's start in its arena
         run_len = 0  # records accumulated in the current run
+        sanitize = self._sanitize
         for bid in block_ids:
+            if sanitize:
+                self._check_block(bid, for_read=True)
             try:
                 b = bmap[bid]
             except KeyError:
@@ -447,6 +498,8 @@ class Disk:
         seen: set[int] = set()
         for bid in block_ids:
             if bid not in self._blocks:
+                if self._sanitize:
+                    self._check_block(bid, for_read=False)
                 raise BadBlockError(f"block {bid} is not allocated")
             if bid in seen:
                 raise BadBlockError(f"block {bid} appears twice in write batch")
@@ -461,13 +514,21 @@ class Disk:
             off = i * B
             blocks_map[bid] = buf[off : off + B]
             origin[bid] = (buf, off)
+        if self._sanitize:
+            self._written_ids.update(seen)
 
     def peek(self, block_id: int) -> np.ndarray:
         """Read a block *without* charging an I/O.
 
         Strictly for test/verification code; algorithms must use
-        :meth:`read`.
+        :meth:`read`.  Sanitize mode still rejects peeks of freed blocks
+        (use-after-free is a data hazard even for verification reads),
+        but allows peeking never-written blocks (they are simply empty).
         """
+        if self._sanitize and block_id in self._freed_ids:
+            raise UseAfterFreeError(
+                f"block {block_id} was freed and must not be peeked"
+            )
         try:
             return self._blocks[block_id].copy()
         except KeyError:

@@ -52,6 +52,52 @@ class BlockSizeError(DiskError):
     """Raised when writing a payload that does not fit in one block."""
 
 
+class SanitizerError(EMError):
+    """Base class for violations detected by the strict runtime sanitizer.
+
+    The sanitizer (``Machine(sanitize=True)`` or ``EM_SANITIZE=1``) turns
+    silent accounting hazards — touching freed blocks, leaking leases,
+    counters that disagree with their span tree — into hard errors.  Every
+    concrete sanitizer error *also* derives from the closest pre-existing
+    error class (:class:`BadBlockError`, :class:`LeaseError`, ...), so code
+    written against the lenient API keeps working when sanitize mode is on.
+    """
+
+
+class UseAfterFreeError(SanitizerError, BadBlockError):
+    """Raised (sanitize mode) when a freed block is read, written, peeked,
+    or freed through any path other than a double :meth:`Disk.free` (which
+    raises the more specific :class:`DoubleFreeError`)."""
+
+
+class DoubleFreeError(SanitizerError, BadBlockError):
+    """Raised (sanitize mode) when :meth:`Disk.free` is asked to release a
+    block that has already been freed."""
+
+
+class UninitializedReadError(SanitizerError, DiskError):
+    """Raised (sanitize mode) when a counted read touches a block that was
+    allocated but never written — the returned garbage would silently
+    poison an experiment."""
+
+
+class LeaseLeakError(SanitizerError, LeaseError):
+    """Raised (sanitize mode) at machine teardown (:meth:`Machine.close`)
+    when memory leases are still active — a ``finally``/context-manager
+    release is missing somewhere."""
+
+
+class DoubleReleaseError(SanitizerError, LeaseError):
+    """Raised (sanitize mode) when :meth:`MemoryLease.release` is called on
+    an already-released lease."""
+
+
+class CounterConservationError(SanitizerError):
+    """Raised (sanitize mode) when a detaching span trace's exclusive
+    counts do not sum exactly to the machine's lifetime counter deltas —
+    some charge bypassed the observer hooks or a span was mutated."""
+
+
 class FileError(EMError):
     """Raised on invalid :class:`~repro.em.file.EMFile` operations."""
 

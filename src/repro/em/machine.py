@@ -13,13 +13,37 @@ keeps the whole input in a Python list would fail its lease.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from .disk import Disk, IOCounters
-from .errors import LeaseError, MemoryBudgetError
+from .errors import (
+    DoubleReleaseError,
+    LeaseError,
+    LeaseLeakError,
+    MemoryBudgetError,
+)
 
-__all__ = ["Machine", "MemoryAccountant", "MemoryLease", "observe_machines"]
+__all__ = [
+    "Machine",
+    "MemoryAccountant",
+    "MemoryLease",
+    "observe_machines",
+    "sanitize_default",
+]
+
+#: Environment variable that switches every new :class:`Machine` into
+#: strict sanitizer mode (``EM_SANITIZE=1`` — any of 1/true/yes/on).
+SANITIZE_ENV = "EM_SANITIZE"
+
+
+def sanitize_default() -> bool:
+    """The sanitize mode new machines inherit when not told explicitly:
+    true iff ``EM_SANITIZE`` is set to ``1``/``true``/``yes``/``on``."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 #: Callbacks invoked with every newly constructed :class:`Machine` while an
 #: :func:`observe_machines` context is active.
@@ -76,6 +100,10 @@ class MemoryLease:
     def release(self) -> None:
         """Return the leased records to the pool."""
         if self._released:
+            if self._accountant.sanitize:
+                raise DoubleReleaseError(
+                    f"lease {self.label!r} released twice"
+                )
             raise LeaseError(f"lease {self.label!r} already released")
         self._accountant._release(self)
         self._released = True
@@ -95,7 +123,7 @@ class MemoryLease:
 class MemoryAccountant:
     """Tracks leased memory against the capacity ``M``."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, sanitize: bool = False) -> None:
         if capacity < 1:
             raise ValueError("memory capacity must be >= 1")
         self._capacity = int(capacity)
@@ -105,6 +133,22 @@ class MemoryAccountant:
         # notified after every lease/resize/release (the span tracer
         # tracks per-span memory high-water marks through this).
         self._observers: list = []
+        # Sanitize mode keeps the set of live leases so teardown can
+        # name exactly which labels leaked (see Machine.close); lenient
+        # mode tracks nothing.
+        self._sanitize = bool(sanitize)
+        self._live_leases: set[MemoryLease] = set()
+
+    @property
+    def sanitize(self) -> bool:
+        """True when the strict runtime sanitizer is enabled."""
+        return self._sanitize
+
+    @property
+    def live_leases(self) -> tuple["MemoryLease", ...]:
+        """The currently active leases (sanitize mode only; always empty
+        in lenient mode, which does not track lease identity)."""
+        return tuple(self._live_leases)
 
     def add_observer(self, observer) -> None:
         """Register an observer: ``observer.on_memory(in_use)`` is
@@ -152,7 +196,10 @@ class MemoryAccountant:
         self._peak = max(self._peak, self._in_use)
         if self._observers:
             self._notify()
-        return MemoryLease(self, size, label)
+        lease = MemoryLease(self, size, label)
+        if self._sanitize:
+            self._live_leases.add(lease)
+        return lease
 
     def _resize(self, lease: MemoryLease, new_size: int) -> None:
         if new_size < 0:
@@ -172,6 +219,8 @@ class MemoryAccountant:
 
     def _release(self, lease: MemoryLease) -> None:
         self._in_use -= lease._size
+        if self._sanitize:
+            self._live_leases.discard(lease)
         if self._observers:
             self._notify()
 
@@ -186,6 +235,13 @@ class Machine:
         (the model requires ``M >= 2B``).
     block:
         Block size ``B`` in records.
+    sanitize:
+        Enable the strict runtime sanitizer: use-after-free / double-free
+        / uninitialized-read detection on the disk, double-release and
+        teardown lease-leak detection on the accountant, and
+        counter-conservation checking in the span tracer.  ``None`` (the
+        default) inherits the process-wide :func:`sanitize_default`
+        (the ``EM_SANITIZE`` environment variable).
 
     Examples
     --------
@@ -195,15 +251,20 @@ class Machine:
     (4096, 64, 64)
     """
 
-    def __init__(self, memory: int, block: int) -> None:
+    def __init__(
+        self, memory: int, block: int, *, sanitize: bool | None = None
+    ) -> None:
         if block < 1:
             raise ValueError("block size B must be >= 1")
         if memory < 2 * block:
             raise ValueError("model requires M >= 2B")
         self._M = int(memory)
         self._B = int(block)
-        self.disk = Disk(block)
-        self.memory = MemoryAccountant(memory)
+        if sanitize is None:
+            sanitize = sanitize_default()
+        self._sanitize = bool(sanitize)
+        self.disk = Disk(block, sanitize=self._sanitize)
+        self.memory = MemoryAccountant(memory, sanitize=self._sanitize)
         self._comparisons = 0
         self._lifetime_comparisons = 0
         # Observer objects with an ``on_comparisons(count)`` method,
@@ -241,6 +302,11 @@ class Machine:
     def fanout(self) -> int:
         """``M / B`` — the model's branching parameter."""
         return self._M // self._B
+
+    @property
+    def sanitize(self) -> bool:
+        """True when the strict runtime sanitizer is enabled."""
+        return self._sanitize
 
     @property
     def load_limit(self) -> int:
@@ -333,6 +399,39 @@ class Machine:
             result.writes = delta.writes
             result.by_phase = dict(delta.by_phase)
             result.comparisons = self._comparisons - cmp_before
+
+    def close(self) -> None:
+        """Tear the machine down, checking lease hygiene in sanitize mode.
+
+        In sanitize mode, raises :class:`~repro.em.errors.LeaseLeakError`
+        naming every still-active lease — an algorithm exited without
+        releasing its working memory (a missing ``finally`` or context
+        manager).  Lenient machines only verify the aggregate leased
+        total is zero, and stay silent when it is.  Idempotent; also
+        invoked by the ``with Machine(...) as m:`` form on exit.
+        """
+        if self._sanitize:
+            leaked = sorted(
+                (lease.label or "<unlabelled>", lease.size)
+                for lease in self.memory.live_leases
+            )
+            if leaked:
+                detail = ", ".join(
+                    f"{label!r} ({size} records)" for label, size in leaked
+                )
+                raise LeaseLeakError(
+                    f"{len(leaked)} lease(s) still active at machine "
+                    f"teardown: {detail}"
+                )
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't mask an in-flight exception with the (inevitable)
+        # leak report its early exit caused.
+        if exc_type is None:
+            self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,50 @@
+"""emlint — EM-model conformance linter for the reproduction.
+
+Static layer of the correctness-analysis suite (the dynamic layer is
+the em sanitizer, ``Machine(sanitize=True)`` / ``EM_SANITIZE=1``).  An
+AST rule engine checks that algorithm code cannot silently bypass the
+Aggarwal–Vitter cost accounting:
+
+* **R1** — no access to private ``Disk``/``MemoryAccountant`` internals
+  outside ``em/`` and ``obs/``;
+* **R2** — no ``peek``/``uncounted()``/uncounted ``to_numpy`` escape
+  hatches in algorithm code;
+* **R3** — record comparisons route through the comparison counter;
+* **R4** — no unseeded / global-state RNG anywhere in the package;
+* **R5** — memory leases are context-managed or released in ``finally``.
+
+Run it with ``repro lint [--json] [--rule R2 ...]``; silence an
+intentional exception with a same-line ``# emlint: disable=Rn`` comment
+(see ``docs/LINTING.md`` for the catalog and the suppression policy).
+"""
+
+from .engine import (
+    ALGORITHM_SUBSYSTEMS,
+    EM_LAYER_SUBSYSTEMS,
+    LintRule,
+    ModuleContext,
+    all_rules,
+    get_rules,
+    lint_file,
+    lint_source,
+    register,
+)
+from .findings import LintFinding
+from .runner import LintReport, default_root, iter_python_files, lint_paths
+
+__all__ = [
+    "LintFinding",
+    "LintRule",
+    "LintReport",
+    "ModuleContext",
+    "ALGORITHM_SUBSYSTEMS",
+    "EM_LAYER_SUBSYSTEMS",
+    "all_rules",
+    "get_rules",
+    "register",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "default_root",
+]

@@ -1,0 +1,167 @@
+"""R3 — comparison-counting rule.
+
+The paper's model is comparison-based: alongside block transfers, the
+simulator charges key comparisons through the
+:mod:`repro.em.comparisons` helpers (``cmp_sort``, ``cmp_search``,
+``cmp_linear``, ``cmp_median5``) or ``Machine.charge_comparisons``.  A
+raw ``np.sort``/``sorted()``/record ``<`` in algorithm code performs
+comparisons the counter never sees.
+
+The rule works at *function granularity*: a comparison sink inside a
+function that also charges comparisons somewhere is assumed to be the
+operation the charge pays for (matching the codebase convention of one
+``cmp_*`` call per vectorized numpy step).  Only functions that compare
+without charging anything are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .engine import LintRule, ModuleContext, register
+from .findings import LintFinding
+
+__all__ = ["RawComparisonRule"]
+
+#: Functions that perform key comparisons without charging them.
+_SINK_FUNCS = frozenset(
+    {"sorted", "min", "max"}  # builtins over record arrays — see _is_record
+)
+_SINK_NP_ATTRS = frozenset(
+    {
+        "sort", "argsort", "lexsort", "partition", "argpartition",
+        "searchsorted",
+    }
+)
+#: em helpers that sort/compare records but (by design) leave the
+#: charging to their caller.
+_SINK_HELPERS = frozenset({"sort_records"})
+
+#: Calls that register the comparisons with the machine.
+_CHARGE_FUNCS = frozenset(
+    {"cmp_sort", "cmp_search", "cmp_linear", "cmp_median5",
+     "charge_comparisons"}
+)
+
+#: Names whose presence in a comparison operand marks it as a *record*
+#: comparison (the total order the model counts).
+_RECORD_MARKERS = frozenset({"composite", "composite_of"})
+
+
+def _is_np_attr(func: ast.AST) -> bool:
+    """True for ``np.<attr>`` / ``numpy.<attr>`` attribute functions."""
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    )
+
+
+def _mentions_records(node: ast.AST) -> bool:
+    """True when the expression involves record composites or keys."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            f = sub.func
+            name = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
+            if name in _RECORD_MARKERS:
+                return True
+        elif isinstance(sub, ast.Subscript):
+            sl = sub.slice
+            if isinstance(sl, ast.Constant) and sl.value in ("key", "uid"):
+                return True
+    return False
+
+
+def _charges(scope: ast.AST) -> bool:
+    """Does this function (or module) scope charge comparisons?"""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            f = node.func
+            name = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
+            if name in _CHARGE_FUNCS:
+                return True
+    return False
+
+
+@register
+class RawComparisonRule(LintRule):
+    """R3: record comparisons must be charged to the comparison counter."""
+
+    rule_id = "R3"
+    title = "record comparisons must route through em.comparisons"
+    rationale = (
+        "CPU cost in the model is key comparisons; the lemma-level "
+        "claims (decision-tree lower bounds, Θ(N·lg K) internal work) "
+        "are checked against the machine's comparison counter.  A "
+        "`np.sort`/`sorted()`/`sort_records` call — or a raw `<`/`<=` "
+        "over record composites — in a function that never calls a "
+        "`cmp_*` helper or `charge_comparisons` performs comparisons "
+        "the counter misses."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
+        if not ctx.in_algorithm_layer or ctx.is_test:
+            return
+        charged: dict[ast.AST, bool] = {}
+
+        def scope_charges(node: ast.AST) -> bool:
+            scope = ctx.enclosing_function(node)
+            if scope not in charged:
+                charged[scope] = _charges(scope)
+            return charged[scope]
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                sink = self._call_sink(node)
+                if sink is not None and not scope_charges(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{sink}` compares records but the enclosing "
+                        f"function never charges comparisons (pair it "
+                        f"with a `cmp_*` helper or `charge_comparisons`)",
+                    )
+            elif isinstance(node, ast.Compare):
+                if not any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                ):
+                    continue
+                operands = [node.left, *node.comparators]
+                if not any(_mentions_records(o) for o in operands):
+                    continue
+                if not scope_charges(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "raw order comparison over record keys/composites "
+                        "in a function that never charges comparisons",
+                    )
+
+    @staticmethod
+    def _call_sink(node: ast.Call) -> str | None:
+        """The sink name if this call performs uncharged comparisons
+        over record data, else None."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _SINK_HELPERS:
+                return func.id
+            if func.id in _SINK_FUNCS and any(
+                _mentions_records(a) for a in node.args
+            ):
+                return func.id
+            return None
+        if _is_np_attr(func) and func.attr in _SINK_NP_ATTRS:
+            # np.searchsorted & friends over plain index arithmetic are
+            # bookkeeping; only record-bearing operands are model cost.
+            if any(_mentions_records(a) for a in node.args) or any(
+                _mentions_records(kw.value) for kw in node.keywords
+            ):
+                return f"np.{func.attr}"
+            return None
+        if isinstance(func, ast.Attribute) and func.attr == "sort":
+            # list/ndarray .sort() — flag only record-bearing receivers.
+            if _mentions_records(func.value):
+                return ".sort()"
+        return None

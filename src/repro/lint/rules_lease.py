@@ -1,0 +1,122 @@
+"""R5 — lease-lifecycle rule.
+
+``MemoryAccountant.lease`` reserves part of the model's memory ``M``;
+a lease that is never released keeps shrinking the budget every caller
+sees (``Machine.load_limit``), so composed algorithms mysteriously run
+out of memory.  The static rule enforces the two exception-safe
+idioms::
+
+    with machine.memory.lease(size, "label"):
+        ...
+
+    lease = machine.memory.lease(size, "label")
+    try:
+        ...
+    finally:
+        lease.release()
+
+Leases stored on object attributes (``self._lease = ...``) are the
+third, object-lifecycle idiom; they are exempt here because the dynamic
+sanitizer's teardown check (:meth:`Machine.close
+<repro.em.machine.Machine.close>`) catches the leak at runtime instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .engine import LintRule, ModuleContext, register
+from .findings import LintFinding
+
+__all__ = ["LeaseLifecycleRule"]
+
+
+def _released_in_finally(scope: ast.AST, var: str) -> bool:
+    """Does any ``finally`` block in ``scope`` call ``var.release()``?"""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == var
+                ):
+                    return True
+    return False
+
+
+def _entered_as_context(scope: ast.AST, var: str) -> bool:
+    """Is ``var`` later used as a context manager (``with var:``)?"""
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id == var
+                ):
+                    return True
+    return False
+
+
+@register
+class LeaseLifecycleRule(LintRule):
+    """R5: every lease is a context manager, released in a ``finally``,
+    or owned by an object (attribute assignment)."""
+
+    rule_id = "R5"
+    title = "leases need an exception-safe release"
+    rationale = (
+        "A leaked `MemoryLease` permanently shrinks the free memory the "
+        "accountant reports, so later phases and composed callers see a "
+        "smaller machine than `M` — the classic source of spurious "
+        "`MemoryBudgetError`s and, worse, of algorithms silently "
+        "switching to more I/O-expensive small-memory code paths.  An "
+        "exception between `lease()` and `release()` must not leak: use "
+        "`with`, or release in a `finally`.  Attribute-stored leases "
+        "(`self._lease = ...`) follow the owning object's lifecycle and "
+        "are checked at runtime by the sanitizer's teardown scan."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "lease"
+            ):
+                continue
+            parent = ctx.parent(node)
+            # `with ....lease(...) as x:` / `with ....lease(...):`
+            if isinstance(parent, ast.withitem):
+                continue
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = parent.targets[0]
+                if isinstance(target, ast.Attribute):
+                    continue  # object-lifecycle idiom (runtime-checked)
+                if isinstance(target, ast.Name):
+                    scope = ctx.enclosing_function(node)
+                    if _released_in_finally(scope, target.id):
+                        continue
+                    if _entered_as_context(scope, target.id):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"lease assigned to `{target.id}` is neither used "
+                        f"as a context manager nor released in a "
+                        f"`finally`; an exception here leaks the memory",
+                    )
+                    continue
+            yield self.finding(
+                ctx,
+                node,
+                "lease result must be held in a `with`, released in a "
+                "`finally`, or stored on an owning object",
+            )

@@ -1,0 +1,121 @@
+"""Repository-level lint driver: file discovery, reports, JSON output.
+
+:func:`lint_paths` walks the given files/directories (default: the
+``repro`` package source), lints every ``.py`` file, and returns a
+:class:`LintReport` carrying active and suppressed findings plus file
+counts — the object the CLI renders as text or ``--json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .engine import LintRule, get_rules, lint_file
+from .findings import LintFinding
+
+__all__ = ["LintReport", "lint_paths", "iter_python_files", "default_root"]
+
+
+def default_root() -> Path:
+    """The repository's package source root (``.../src``)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories,
+    sorted for deterministic reports; ``__pycache__`` is skipped."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for file in candidates:
+            if "__pycache__" in file.parts or file in seen:
+                continue
+            seen.add(file)
+            yield file
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    suppressed: list[LintFinding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is active."""
+        return not self.errors
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f.render() for f in self.findings]
+        n_err = len(self.errors)
+        n_warn = len(self.findings) - n_err
+        summary = (
+            f"checked {self.files} files against "
+            f"{', '.join(self.rules)}: "
+            f"{n_err} error(s), {n_warn} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join([*lines, summary] if lines else [summary])
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (the ``--json`` payload)."""
+        return {
+            "files": self.files,
+            "rules": self.rules,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1) + "\n"
+
+
+def lint_paths(
+    paths: Iterable[Path | str] | None = None,
+    rule_ids: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint files/directories against the selected rules.
+
+    ``paths`` defaults to the installed ``repro`` package source tree;
+    findings report paths relative to ``root`` (default: the directory
+    that contains the package, so paths read ``repro/...``).
+    """
+    if root is None:
+        root = default_root()
+    if paths is None:
+        paths = [root / "repro"]
+    rules: list[LintRule] = get_rules(rule_ids)
+    report = LintReport(rules=[r.rule_id for r in rules])
+    for file in iter_python_files(Path(p) for p in paths):
+        try:
+            rel_root = root if file.resolve().is_relative_to(root) else None
+        except AttributeError:  # pragma: no cover - py<3.9 fallback
+            rel_root = None
+        active, suppressed = lint_file(
+            file.resolve() if rel_root else file, rules, root=rel_root
+        )
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files += 1
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

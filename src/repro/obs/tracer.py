@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
+from ..em.errors import CounterConservationError
 from ..em.machine import observe_machines
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,6 +143,14 @@ class MachineTrace:
         self.index = index
         self.M = machine.M
         self.B = machine.B
+        # Lifetime-counter baseline for the conservation check: the
+        # exclusive span counts recorded between attach and detach must
+        # sum exactly to the machine's lifetime deltas over the same
+        # window (lifetime counters survive reset_counters, so the
+        # identity holds across measurement-window resets too).
+        self._base_reads = machine.disk.lifetime.reads
+        self._base_writes = machine.disk.lifetime.writes
+        self._base_comparisons = machine.lifetime_comparisons
         now = time.perf_counter()
         self.root = Span(
             name=ROOT_NAME,
@@ -215,6 +224,40 @@ class MachineTrace:
         self.root.wall_s = time.perf_counter() - self.root.t_start
         self._finalized = True
 
+    def conservation_error(self) -> str | None:
+        """Check span-tree/lifetime counter conservation.
+
+        Returns ``None`` when the root span's inclusive reads, writes,
+        and comparisons equal the machine's lifetime-counter deltas
+        since attach, else a human-readable description of the drift.
+        Every model charge flows through the same observer callbacks
+        that build the tree, so any mismatch means a charge bypassed
+        the hooks (or a span was mutated behind the tracer's back).
+        """
+        deltas = (
+            self._machine.disk.lifetime.reads - self._base_reads,
+            self._machine.disk.lifetime.writes - self._base_writes,
+            self._machine.lifetime_comparisons - self._base_comparisons,
+        )
+        recorded = (
+            self.root.cum_reads,
+            self.root.cum_writes,
+            self.root.cum_comparisons,
+        )
+        if recorded == deltas:
+            return None
+        drifts = [
+            f"{name}: span tree has {got}, lifetime counters advanced {want}"
+            for name, got, want in zip(
+                ("reads", "writes", "comparisons"), recorded, deltas
+            )
+            if got != want
+        ]
+        return (
+            f"span-tree counts diverge from machine #{self.index} "
+            f"lifetime counters — " + "; ".join(drifts)
+        )
+
     def to_dict(self) -> dict:
         """Plain JSON-serializable form of the whole trace."""
         return {
@@ -271,7 +314,14 @@ class Tracer:
         return trace
 
     def detach(self, machine: "Machine") -> MachineTrace:
-        """Stop recording ``machine`` and finalize its trace."""
+        """Stop recording ``machine`` and finalize its trace.
+
+        When the machine runs in sanitize mode, detaching additionally
+        verifies counter conservation — the span tree's exclusive counts
+        must sum exactly to the machine's lifetime-counter deltas since
+        attach — and raises
+        :class:`~repro.em.errors.CounterConservationError` on drift.
+        """
         try:
             _, trace = self._live.pop(id(machine))
         except KeyError:
@@ -280,6 +330,10 @@ class Tracer:
         machine.memory.remove_observer(trace)
         machine.remove_observer(trace)
         trace.finalize()
+        if machine.sanitize:
+            drift = trace.conservation_error()
+            if drift is not None:
+                raise CounterConservationError(drift)
         return trace
 
     @contextmanager

@@ -609,12 +609,12 @@ class PartitionIndex:
         if len(self._splitters) > 1:
             assert bool(np.all(np.diff(self._splitters) > 0))
         total = 0
-        with self._machine.uncounted():
+        with self._machine.uncounted():  # emlint: disable=R2 — invariant checker, tests only
             for j, part in enumerate(self._parts):
                 assert part.live >= 0
                 assert sum(len(s) for s in part.segments) == part.stored
                 total += part.live
-                recs = [s.to_numpy(counted=False) for s in part.segments]
+                recs = [s.to_numpy(counted=False) for s in part.segments]  # emlint: disable=R2 — invariant checker, tests only
                 comps = (
                     np.concatenate([composite(r) for r in recs])
                     if recs

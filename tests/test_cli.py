@@ -286,6 +286,61 @@ class TestServiceVerbs:
         assert "online / offline" in out_file.read_text()
 
 
+class TestLintCli:
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_flags_violations(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "alg" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def f(m, file):\n"
+            "    m.disk.peek(0)\n"
+            "    return np.random.rand()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R2" in out and "R4" in out
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "alg" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    return np.random.rand()\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "R4"
+
+    def test_lint_rule_selection(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "alg" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(m):\n    return m.disk.peek(0)\n")
+        assert main(["lint", "--rule", "R4,R5", str(bad)]) == 0
+
+    def test_lint_unknown_rule(self, capsys):
+        assert main(["lint", "--rule", "R9"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSanitizeCheckCli:
+    def test_traps_and_one_solver(self, capsys):
+        rc = main(["sanitize-check", "--solver", "splitters"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for trap in ("use-after-free", "double-free", "uninitialized-read",
+                     "double-release", "lease-leak"):
+            assert f"{trap:22s} PASS" in out
+        assert "sanitize-check: PASS" in out
+
+    def test_incompatible_override_reports_error(self, capsys):
+        # reduction needs n to be a multiple of its part size; a bad
+        # override must surface as a counted ERROR, not a traceback.
+        rc = main(["sanitize-check", "--solver", "reduction", "--n", "4097"])
+        assert rc == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
 class TestApiDocs:
     def test_generated_api_docs_up_to_date(self):
         """docs/API.md must match the current public surface."""
