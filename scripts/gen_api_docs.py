@@ -74,6 +74,7 @@ MODULES = [
     "repro.service.online",
     "repro.service.updates",
     "repro.service.frontend",
+    "repro.service.durability",
     "repro.experiments.base",
     "repro.experiments.runner",
     "repro.experiments.report_all",

@@ -31,6 +31,7 @@ __all__ = [
     "partition_two_sided_upper",
     "online_trace_io",
     "service_index_io",
+    "service_recovery_io",
     "lemma5_condition",
 ]
 
@@ -186,3 +187,27 @@ def service_index_io(n: int, k: int, queries: int, m: int, b: int) -> float:
     service's ``slack = 1`` window).
     """
     return sort_io(n, m, b) + scan_io(n, b) + queries * (2.0 * n / (k * b))
+
+
+def service_recovery_io(
+    n: int, k: int, updates: int, queries: int, m: int, b: int
+) -> float:
+    """Durable service crash recovery, total over the scenario.
+
+    Recovery reads one manifest block, scans the metadata snapshot
+    (``O(K + N/B)`` words packed three per record — segment descriptors
+    dominate, one id per block of live data), scans the live WAL region
+    (``O(1 + updates/(B-1))`` blocks), replays at most ``updates``
+    logged operations (appends route at ``1/B`` amortized writes each;
+    each delete scans one ``<= 2N/K``-record partition), re-snapshots
+    the recovered state, and finally answers the verification trace at
+    one partition load per query.  Replay can also trip rebalancing and
+    a drift rebuild, bounded by one sort-cost pass over the live
+    records.
+    """
+    part = 2.0 * n / (k * b)  # one partition load at slack = 1
+    meta = 2.0 * (1 + k + (n / b) / b) + updates / b  # manifest + snapshot x2
+    wal = 1 + updates / max(1, b - 1)
+    replay = updates / b + updates * part
+    rebuild = sort_io(n, m, b) + scan_io(n, b)
+    return meta + wal + replay + rebuild + queries * part

@@ -33,10 +33,18 @@ Subcommands:
     double-free, uninitialized read, double release, lease leak), then
     run the registered solvers under ``Machine(sanitize=True)`` with
     the tracer's counter-conservation check enabled.
-``repro serve --n N --k K [--engine eager|lazy] ...``
+``repro serve --n N --k K [--engine eager|lazy] [--durable] ...``
     Interactive partition service: build an index over a generated
     workload and answer queries (and, with the eager engine, apply
-    appends/deletes) read line-by-line from stdin.
+    appends/deletes) read line-by-line from stdin.  ``--durable`` adds
+    WAL + snapshot persistence and the ``snapshot``/``crash``/``dstats``
+    commands (``crash`` abandons the live index and recovers it from
+    the manifest in-session).
+``repro recover [--fail-at I] [--batches N] [--batch-ops OPS] ...``
+    Crash-recovery scenario: build a durable index, apply an
+    interleaved update plan, kill the machine at the ``--fail-at``-th
+    counted I/O, recover from the manifest, and verify the recovered
+    answers are element-identical to an uncrashed shadow run.
 ``repro query --n N --k K QUERY [QUERY ...]``
     One-shot batch: coalesce the given queries (``select:R``,
     ``quantile:Q``, ``range:LO:HI``, ``part:KEY``) into one frontend
@@ -452,12 +460,25 @@ def _build_service(args):
         print(f"unknown workload {args.workload!r}; known: "
               f"{', '.join(sorted(WORKLOADS))}", file=sys.stderr)
         raise SystemExit(2)
+    durable = getattr(args, "durable", False)
+    if durable and args.engine != "eager":
+        print("--durable requires the eager engine", file=sys.stderr)
+        raise SystemExit(2)
     machine = Machine(memory=args.memory, block=args.block)
     records = WORKLOADS[args.workload](args.n, seed=args.seed)
     file = load_input(machine, records)
     machine.reset_counters()
     if args.engine == "eager":
-        engine = PartitionIndex.build(machine, file, args.k)
+        if durable:
+            from .service import DurablePartitionIndex
+
+            engine = DurablePartitionIndex.build_durable(
+                machine, file, args.k,
+                wal_capacity=getattr(args, "wal_cap", None),
+                snapshot_every=getattr(args, "snapshot_every", 16),
+            )
+        else:
+            engine = PartitionIndex.build(machine, file, args.k)
         file.free()
         return machine, None, engine
     return machine, file, LazyPartitionIndex(machine, file, k=args.k)
@@ -526,11 +547,14 @@ def _cmd_serve(args) -> int:
     machine, file, engine = _build_service(args)
     frontend = QueryFrontend(machine, engine)
     eager = args.engine == "eager"
-    print(f"partition service up: engine={args.engine} N={args.n} "
+    durable = getattr(args, "durable", False)
+    mode = "eager+durable" if durable else args.engine
+    print(f"partition service up: engine={mode} N={args.n} "
           f"K={args.k} (M={machine.M}, B={machine.B})")
     print("commands: select R [R ...] | quantile Q [Q ...] | "
           "range LO HI | part KEY"
           + (" | append K [K ...] | delete K | flush" if eager else "")
+          + (" | snapshot | crash | dstats" if durable else "")
           + " | stats | quit")
     stream = open(args.input) if args.input else sys.stdin
     status = 0
@@ -564,6 +588,25 @@ def _cmd_serve(args) -> int:
                     print("  buffered 1 delete")
                 elif eager and cmd == "flush":
                     print(f"  update flush: {engine.flush_updates()}")
+                elif durable and cmd == "snapshot":
+                    engine.snapshot()
+                    stats = engine.durability_stats()
+                    print(f"  snapshot taken (epoch {stats['epoch']}, "
+                          f"seq {stats['seq']})")
+                elif durable and cmd == "dstats":
+                    for key, value in engine.durability_stats().items():
+                        print(f"  {key}: {value}")
+                elif durable and cmd == "crash":
+                    from .service import recover
+
+                    manifest = engine.manifest_block
+                    engine.abandon()
+                    with machine.measure("svc-recover") as cost:
+                        engine = recover(machine, manifest)
+                    frontend = QueryFrontend(machine, engine)
+                    print(f"  crashed and recovered: seq="
+                          f"{engine.applied_seq} n_live={engine.n_live} "
+                          f"[{cost.total:,} I/Os]")
                 else:
                     print(f"  unknown command {cmd!r}", file=sys.stderr)
                     status = 1
@@ -589,6 +632,151 @@ def _cmd_serve(args) -> int:
         engine.close()
         if file is not None:
             file.free()
+
+
+class _InjectedCrash(Exception):
+    """Raised by the ``repro recover`` crash injector."""
+
+
+def _arm_crash(machine, fail_at: int):
+    """Make the ``fail_at``-th disk I/O from now raise (single-shot).
+
+    Arm this *after* setup so the build itself cannot fault; batched
+    calls tick once per block, the whole batch failing before any
+    accounting (disk batches are atomic).  Returns a disarm callable
+    restoring the original disk methods — call it before recovery so an
+    offset past the update phase's total I/O means "no crash" rather
+    than a fault inside ``recover`` itself.
+    """
+    disk = machine.disk
+    state = {"seen": 0}
+    orig_read, orig_write = disk.read, disk.write
+    orig_read_many, orig_write_many = disk.read_many, disk.write_many
+
+    def tick(k: int) -> None:
+        before = state["seen"]
+        state["seen"] += k
+        if before < fail_at <= state["seen"]:
+            raise _InjectedCrash
+
+    def read(bid):
+        tick(1)
+        return orig_read(bid)
+
+    def write(bid, data):
+        tick(1)
+        return orig_write(bid, data)
+
+    def read_many(bids):
+        tick(len(bids))
+        return orig_read_many(bids)
+
+    def write_many(bids, data):
+        tick(len(bids))
+        return orig_write_many(bids, data)
+
+    disk.read, disk.write = read, write
+    disk.read_many, disk.write_many = read_many, write_many
+
+    def disarm() -> None:
+        disk.read, disk.write = orig_read, orig_write
+        disk.read_many, disk.write_many = orig_read_many, orig_write_many
+
+    return disarm
+
+
+def _apply_update_batch(index, batch) -> None:
+    for op in batch:
+        if op[0] == "append":
+            index.append(op[1])
+        else:
+            index.delete(op[1])
+    index.flush_updates()
+
+
+def _cmd_recover(args) -> int:
+    """Scripted crash→recover scenario with an answer-identity check.
+
+    Builds a durable index, applies an interleaved update plan, crashes
+    at the ``--fail-at``-th I/O (0 = clean process death after the
+    plan), recovers from the manifest, and compares a zipfian
+    verification trace against a *shadow oracle*: a volatile index on a
+    fresh machine that applied exactly the flush groups the recovered
+    sequence number says were committed.  Exits non-zero if any answer
+    diverges or the crashed process leaked memory leases.
+    """
+    from .em import Machine
+    from .em.records import composite
+    from .service import DurablePartitionIndex, PartitionIndex, recover
+    from .workloads import load_input, random_permutation
+    from .workloads.queries import update_batches, zipfian_trace
+
+    machine = Machine(memory=args.memory, block=args.block)
+    records = random_permutation(args.n, seed=args.seed)
+    file = load_input(machine, records)
+    machine.reset_counters()
+    index = DurablePartitionIndex.build_durable(
+        machine, file, args.k,
+        wal_capacity=args.wal_cap, snapshot_every=args.snapshot_every,
+    )
+    file.free()
+    appends = 3 * args.batch_ops // 4
+    deletes = args.batch_ops - appends
+    plan = update_batches(
+        records["key"], args.batches, appends, deletes, seed=args.seed
+    )
+    disarm = _arm_crash(machine, args.fail_at) if args.fail_at else None
+    crashed = False
+    try:
+        for batch in plan:
+            _apply_update_batch(index, batch)
+    except _InjectedCrash:
+        crashed = True
+    finally:
+        if disarm is not None:
+            disarm()
+    manifest = index.manifest_block
+    index.abandon()
+    leaked = machine.memory.in_use
+    with machine.measure("svc-recover") as cost:
+        recovered = recover(machine, manifest)
+    seq = recovered.applied_seq
+    print(f"{'crashed at I/O #' + str(args.fail_at) if crashed else 'clean shutdown'}"
+          f": recovered seq={seq}/{len(plan)} n_live={recovered.n_live} "
+          f"in {cost.total:,} I/Os")
+
+    shadow_machine = Machine(memory=args.memory, block=args.block)
+    shadow_file = load_input(shadow_machine, records)
+    shadow = PartitionIndex.build(shadow_machine, shadow_file, args.k)
+    shadow_file.free()
+    for batch in plan[:seq]:
+        _apply_update_batch(shadow, batch)
+
+    ok = True
+    if recovered.n_live != shadow.n_live:
+        print(f"LIVE-COUNT MISMATCH: recovered {recovered.n_live} vs "
+              f"shadow {shadow.n_live}", file=sys.stderr)
+        ok = False
+    else:
+        trace = zipfian_trace(args.queries, recovered.n_live,
+                              seed=args.seed + 1)
+        got = composite(recovered.batch_select(trace))
+        want = composite(shadow.batch_select(trace))
+        diverged = int((got != want).sum())
+        if diverged:
+            print(f"ANSWER MISMATCH: {diverged}/{args.queries} queries "
+                  f"diverge from the shadow oracle", file=sys.stderr)
+            ok = False
+        else:
+            print(f"answer identity: {args.queries}/{args.queries} zipfian "
+                  f"queries element-identical to the uncrashed shadow")
+    if leaked:
+        print(f"LEASE LEAK: crashed process held {leaked} records",
+              file=sys.stderr)
+        ok = False
+    shadow.close()
+    recovered.abandon()
+    return 0 if ok else 1
 
 
 def _cmd_bench_queries(args) -> int:
@@ -882,14 +1070,57 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--memory", type=int, default=4096, help="M (records)")
         p.add_argument("--block", type=int, default=64, help="B (records)")
 
+    def _durable_args(p) -> None:
+        p.add_argument(
+            "--wal-cap", type=int, default=None, dest="wal_cap",
+            help="WAL capacity in blocks (default max(8, M/B))",
+        )
+        p.add_argument(
+            "--snapshot-every", type=int, default=16, dest="snapshot_every",
+            help="snapshot after this many committed flush groups",
+        )
+
     serve_p = sub.add_parser(
         "serve", help="interactive partition service over stdin"
     )
     _service_args(serve_p, engine_default="eager")
     serve_p.add_argument(
+        "--durable", action="store_true",
+        help="WAL + snapshot durability (eager engine only); adds the "
+        "snapshot/crash/dstats commands",
+    )
+    _durable_args(serve_p)
+    serve_p.add_argument(
         "--input", default=None, metavar="FILE",
         help="read commands from FILE instead of stdin",
     )
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="crash a durable index at a chosen I/O and verify recovery",
+    )
+    recover_p.add_argument("--n", type=int, default=16_384)
+    recover_p.add_argument("--k", type=int, default=32)
+    recover_p.add_argument("--batches", type=int, default=8,
+                           help="update flush groups to apply")
+    recover_p.add_argument("--batch-ops", type=int, default=64,
+                           dest="batch_ops",
+                           help="operations per batch (3/4 appends)")
+    recover_p.add_argument("--queries", type=int, default=512,
+                           help="zipfian verification queries")
+    recover_p.add_argument(
+        "--fail-at", type=int, default=0, dest="fail_at",
+        help="crash at this counted I/O during updates (0 = clean death "
+        "after the full plan)",
+    )
+    recover_p.add_argument("--snapshot-every", type=int, default=3,
+                           dest="snapshot_every")
+    recover_p.add_argument("--wal-cap", type=int, default=None,
+                           dest="wal_cap")
+    recover_p.add_argument("--seed", type=int, default=0)
+    recover_p.add_argument("--memory", type=int, default=4096,
+                           help="M (records)")
+    recover_p.add_argument("--block", type=int, default=64, help="B (records)")
 
     query_p = sub.add_parser(
         "query", help="answer one batch of queries against a fresh index"
@@ -954,6 +1185,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sanitize_check(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "bench-queries":

@@ -59,6 +59,32 @@ class EMFile:
                 f.append_blocks(records)
         return f
 
+    @classmethod
+    def adopt(
+        cls, machine: "Machine", block_ids, length: int
+    ) -> "EMFile":
+        """Reattach a handle to blocks that already exist on disk.
+
+        Crash recovery rebuilds :class:`EMFile` handles from block ids
+        persisted in a snapshot; the blocks themselves were written (and
+        charged) by the original process, so adoption itself performs no
+        I/O.  The layout invariant is checked: ``length`` records must
+        occupy exactly ``len(block_ids)`` blocks.
+        """
+        ids = [int(b) for b in block_ids]
+        if length < 0:
+            raise FileError("adopted length must be >= 0")
+        B = machine.B
+        if -(-length // B) != len(ids):
+            raise FileError(
+                f"{length} records do not fit exactly in {len(ids)} "
+                f"blocks of {B}"
+            )
+        f = cls(machine)
+        f._block_ids = ids
+        f._length = int(length)
+        return f
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

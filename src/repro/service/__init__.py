@@ -18,13 +18,19 @@ it:
 * :mod:`repro.service.frontend` —
   :class:`~repro.service.frontend.QueryFrontend`, batching mixed queries
   into one deduplicated multiselection per flush, with per-query
-  amortized-I/O metrics.
+  amortized-I/O metrics;
+* :mod:`repro.service.durability` —
+  :class:`~repro.service.durability.DurablePartitionIndex`, a
+  write-ahead delta log plus periodic metadata snapshots (all charged
+  EM I/O), and :func:`~repro.service.durability.recover`, which rebuilds
+  an answer-identical index from the manifest after a crash.
 """
 
 from .index import PartitionIndex
 from .online import LazyPartitionIndex
 from .updates import DeltaBuffer
 from .frontend import Query, QueryFrontend, FlushStats
+from .durability import DurablePartitionIndex, DurableStore, recover
 
 __all__ = [
     "PartitionIndex",
@@ -33,4 +39,7 @@ __all__ = [
     "Query",
     "QueryFrontend",
     "FlushStats",
+    "DurablePartitionIndex",
+    "DurableStore",
+    "recover",
 ]

@@ -330,6 +330,24 @@ class PartitionIndex:
         return np.arange(start, start + count, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Durability hooks (no-ops on the volatile base index)
+    # ------------------------------------------------------------------
+    def _log_applied(self, entries: list[tuple]) -> None:
+        """Called by the delta buffer with the applied operations of a
+        successful (non-crashed) flush.  The base index is volatile."""
+
+    def _maybe_checkpoint(self) -> None:
+        """Called after every completed flush; a durable index may take
+        a snapshot here.  The base index is volatile."""
+
+    def _discard_segment(self, seg: EMFile) -> None:
+        """Release a segment that left the index (compaction, split,
+        rebuild).  A durable index defers the free until the next
+        snapshot commits, because the latest on-disk snapshot may still
+        reference these blocks."""
+        seg.free()
+
+    # ------------------------------------------------------------------
     # Partition access
     # ------------------------------------------------------------------
     @staticmethod
@@ -445,7 +463,7 @@ class PartitionIndex:
                 writer.abort()
                 raise
         for seg in part.segments:
-            seg.free()
+            self._discard_segment(seg)
         if len(out):
             part.segments = [out]
         else:
@@ -494,7 +512,7 @@ class PartitionIndex:
             ]
         )
         for seg in old_segments:
-            seg.free()
+            self._discard_segment(seg)
         self.stats["splits"] += 1
         self._sync_resident()
 
@@ -583,20 +601,24 @@ class PartitionIndex:
                 raise
             for part in self._parts:
                 for seg in part.segments:
-                    seg.free()
+                    self._discard_segment(seg)
             self._install(stage, self._k0, free_input=True)
         self.stats["rebuilds"] += 1
 
     # ------------------------------------------------------------------
     # Accounting / lifecycle
     # ------------------------------------------------------------------
-    def _sync_resident(self) -> None:
-        """Size the resident lease to the control state actually held."""
+    def _resident_total(self) -> int:
+        """Records of control state held resident (lease size)."""
         total = len(self._splitters) + len(self._parts)
         total += sum(len(p.tombstones) for p in self._parts)
         if self._delta is not None:
             total += self._delta.resident_records
-        self._resident.resize(total)
+        return total
+
+    def _sync_resident(self) -> None:
+        """Size the resident lease to the control state actually held."""
+        self._resident.resize(self._resident_total())
 
     def check_invariants(self) -> bool:
         """Verify structural invariants (uncounted; tests only).
@@ -629,6 +651,25 @@ class PartitionIndex:
                     assert self.a <= part.live <= self.b
         assert total == self._n_live
         return True
+
+    def abandon(self) -> None:
+        """Drop the in-memory handle without freeing any disk blocks.
+
+        Simulates process death: every lease is released (memory
+        vanishes with the process) but the partition segments stay
+        allocated on disk.  Only meaningful for a durable index — the
+        blocks are reachable again through its manifest — but defined
+        here so crash tests can abandon a volatile shadow too.
+        """
+        if self._closed:
+            return
+        self._parts = []
+        self._splitters = np.empty(0, dtype=np.int64)
+        self._n_live = 0
+        self._delta = None
+        if not self._resident.released:
+            self._resident.release()
+        self._closed = True
 
     def close(self) -> None:
         """Free every partition segment and release the resident lease."""

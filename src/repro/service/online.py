@@ -359,6 +359,23 @@ class LazyPartitionIndex:
             total += len(self._cache)
         self._resident.resize(total)
 
+    def abandon(self) -> None:
+        """Drop the tree without freeing disk (simulated process death).
+
+        The lazy engine is read-only: its durable state *is* the input
+        file, which survives on disk untouched.  After a crash a new
+        engine over the same file answers identically (refinement
+        copies owned by the dead tree become unreachable blocks — the
+        documented cost of crashing a cache).
+        """
+        if self._closed:
+            return
+        self._root = _LazyNode(None, owned=False, size=0)
+        self._cache = None
+        if not self._resident.released:
+            self._resident.release()
+        self._closed = True
+
     def close(self) -> None:
         """Free every owned tree file and release the resident lease."""
         if self._closed:

@@ -4,6 +4,9 @@
 buffered in memory (under the index's resident lease), then applied in
 batches:
 
+* operations are applied **in submission order** — runs of consecutive
+  appends coalesce into one routed batch, but a delete submitted before
+  an append never sees the appended record;
 * **appends** are routed by one batched binary search over the splitter
   composites and written as new *overflow segments* of their target
   partitions — ``O(#touched + |batch|/B)`` write I/Os, no rewriting;
@@ -21,6 +24,13 @@ batches:
 
 Queries flush the buffer automatically, so every answer reflects every
 prior update.
+
+Flush is **exception-safe**: whatever interrupts a flush — a failed
+delete (:class:`SpecError`) or a simulated crash mid-I/O — the work
+already applied is accounted (drift, rebalance) in a ``finally`` block,
+unapplied operations are reinstated at the front of the buffer, and a
+durable index logs exactly the applied subset to its write-ahead log
+(never after a crash, so a torn flush is invisible to recovery).
 """
 
 from __future__ import annotations
@@ -31,7 +41,13 @@ import numpy as np
 
 from ..em.comparisons import cmp_linear, cmp_search
 from ..em.errors import SpecError
-from ..em.records import UID_MAX, composite, composite_of, make_records
+from ..em.records import (
+    UID_MAX,
+    composite,
+    composite_of,
+    concat_records,
+    make_records,
+)
 from ..em.streams import BlockReader, BlockWriter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,24 +72,33 @@ class DeltaBuffer:
             raise SpecError("delta buffer capacity must be >= 1")
         self._index = index
         self.capacity = int(capacity)
-        self._appends: list[np.ndarray] = []
+        #: Ordered operation log: ``("append", records)`` entries carry
+        #: pre-assigned uids; ``("delete", key)`` entries resolve their
+        #: victim at flush time.  Order is submission order.
+        self._ops: list[tuple] = []
         self._n_appends = 0
-        self._deletes: list[int] = []
+        self._n_deletes = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         """Number of buffered operations."""
-        return self._n_appends + len(self._deletes)
+        return self._n_appends + self._n_deletes
 
     @property
     def resident_records(self) -> int:
         """Records of machine memory the buffer occupies."""
-        return self._n_appends + len(self._deletes)
+        return self._n_appends + self._n_deletes
 
     @property
     def net_delta(self) -> int:
         """Pending change to the index's live size."""
-        return self._n_appends - len(self._deletes)
+        return self._n_appends - self._n_deletes
+
+    def _recount(self) -> None:
+        self._n_appends = sum(
+            len(op[1]) for op in self._ops if op[0] == "append"
+        )
+        self._n_deletes = sum(1 for op in self._ops if op[0] == "delete")
 
     # ------------------------------------------------------------------
     def append_keys(self, keys) -> None:
@@ -82,92 +107,207 @@ class DeltaBuffer:
         if keys.size == 0:
             return
         recs = make_records(keys, uids=self._index._fresh_uids(len(keys)))
-        self._appends.append(recs)
+        self._ops.append(("append", recs))
         self._n_appends += len(recs)
         self._index._sync_resident()
         if len(self) >= self.capacity:
             self.flush()
 
     def delete_key(self, key: int) -> None:
-        """Buffer the deletion of one live element with key ``key``."""
-        self._deletes.append(int(key))
+        """Buffer the deletion of one live element with key ``key``.
+
+        The delete targets the state as of its position in the batch: a
+        record appended *later* in the same batch is not a candidate.
+        """
+        self._ops.append(("delete", int(key)))
+        self._n_deletes += 1
         self._index._sync_resident()
         if len(self) >= self.capacity:
             self.flush()
 
     # ------------------------------------------------------------------
     def flush(self) -> dict:
-        """Apply every buffered update; returns per-flush statistics.
+        """Apply every buffered update in order; returns flush statistics.
 
-        A failed delete (key not present) raises :class:`SpecError`
-        after the batch's appends have already been applied — the buffer
-        is cleared up to the failing operation.
+        A failed delete (key not present) raises :class:`SpecError`; the
+        operations *before* it have been applied and accounted, the
+        failed delete is dropped (retrying it can never succeed), and
+        every operation after it is reinstated at the front of the
+        buffer, so a subsequent flush completes the batch.  Any other
+        exception (a crash) likewise accounts the applied prefix and
+        reinstates the remainder — but nothing is logged to a durable
+        index's write-ahead log, so recovery never sees a torn flush.
         """
         idx = self._index
         m = idx._machine
-        appends, self._appends, self._n_appends = self._appends, [], 0
-        deletes, self._deletes = self._deletes, []
+        ops, self._ops = self._ops, []
+        self._recount()
         idx._sync_resident()
-        n_app = sum(len(a) for a in appends)
         touched: set[int] = set()
-        with m.phase("svc-update"):
-            if n_app:
-                batch = (
-                    appends[0]
-                    if len(appends) == 1
-                    else np.concatenate(appends)
-                )
-                touched |= self._apply_appends(batch)
-            for key in deletes:
-                touched.add(self._apply_delete(key))
-            idx._drift += n_app + len(deletes)
-            idx._rebalance(touched)
+        applied: list[tuple] = []
+        leftover: list[np.ndarray] = []
+        crashed = False
+        handled = False
+        n_app = n_del = 0
+        pos = 0
+        try:
+            with m.phase("svc-update"):
+                try:
+                    while pos < len(ops):
+                        if ops[pos][0] == "append":
+                            run = [ops[pos][1]]
+                            pos += 1
+                            while (
+                                pos < len(ops) and ops[pos][0] == "append"
+                            ):
+                                run.append(ops[pos][1])
+                                pos += 1
+                            batch = (
+                                run[0]
+                                if len(run) == 1
+                                else concat_records(run)
+                            )
+                            self._apply_appends(
+                                batch, touched, applied, leftover
+                            )
+                        else:
+                            key = ops[pos][1]
+                            pos += 1
+                            try:
+                                j, uid = self._apply_delete(key)
+                            except SpecError:
+                                handled = True
+                                self._ops = ops[pos:] + self._ops
+                                raise
+                            touched.add(j)
+                            applied.append(("delete", (key, uid)))
+                except BaseException:
+                    if not handled:
+                        crashed = True
+                        keep = [("append", a) for a in leftover if len(a)]
+                        self._ops = keep + ops[pos:] + self._ops
+                    raise
+                finally:
+                    n_app = sum(
+                        len(e[1]) for e in applied if e[0] == "append"
+                    )
+                    n_del = sum(1 for e in applied if e[0] == "delete")
+                    idx._drift += n_app + n_del
+                    idx._rebalance(touched)
+                    if not crashed and applied:
+                        idx._log_applied(applied)
+        finally:
+            self._recount()
+            idx._sync_resident()
         idx.stats["update_flushes"] += 1
         rebuilt = False
         if idx._drift > idx.rebuild_threshold * max(1, idx._n0):
             idx._rebuild()
             rebuilt = True
+        idx._maybe_checkpoint()
         idx._sync_resident()
         return {
             "appended": n_app,
-            "deleted": len(deletes),
+            "deleted": n_del,
             "touched_partitions": len(touched),
             "rebuilt": rebuilt,
         }
 
     # ------------------------------------------------------------------
-    def _apply_appends(self, batch: np.ndarray) -> set[int]:
-        """Route ``batch`` to overflow segments; returns touched indices."""
+    def replay_group(self, entries: list[tuple]) -> None:
+        """Re-apply one committed WAL group during recovery.
+
+        ``entries`` are ``("append", records)`` arrays carrying the
+        exact uids the original run assigned, and ``("delete", (key,
+        uid))`` resolved victims.  Accounting (drift, rebalance,
+        rebuild threshold) follows the normal flush path so the
+        recovered index keeps the same maintenance cadence; nothing is
+        re-logged — the caller snapshots once replay completes.
+        """
+        idx = self._index
+        m = idx._machine
+        touched: set[int] = set()
+        n_app = n_del = 0
+        with m.phase("svc-update"):
+            pos = 0
+            while pos < len(entries):
+                if entries[pos][0] == "append":
+                    run = [entries[pos][1]]
+                    pos += 1
+                    while pos < len(entries) and entries[pos][0] == "append":
+                        run.append(entries[pos][1])
+                        pos += 1
+                    batch = run[0] if len(run) == 1 else concat_records(run)
+                    self._apply_appends(batch, touched, [], [])
+                    n_app += len(batch)
+                    hi = int(batch["uid"].max())
+                    idx._next_uid = max(idx._next_uid, hi + 1)
+                else:
+                    key, uid = entries[pos][1]
+                    pos += 1
+                    touched.add(self._apply_delete_exact(key, uid))
+                    n_del += 1
+            idx._drift += n_app + n_del
+            idx._rebalance(touched)
+        idx.stats["update_flushes"] += 1
+        if idx._drift > idx.rebuild_threshold * max(1, idx._n0):
+            idx._rebuild()
+        idx._sync_resident()
+
+    # ------------------------------------------------------------------
+    def _apply_appends(
+        self,
+        batch: np.ndarray,
+        touched: set,
+        applied: list,
+        leftover: list,
+    ) -> None:
+        """Route ``batch`` to overflow segments, recording progress.
+
+        Per-partition state (segments, stored counts, ``_n_live``) and
+        the ``applied`` log advance incrementally, so an exception after
+        some partitions were written leaves the index consistent with
+        exactly the records marked applied; the unwritten remainder of
+        the batch is appended to ``leftover`` for reinstatement.
+        """
         idx = self._index
         m = idx._machine
         splitters = idx._splitters
         comps = composite(batch)
         j_of = np.searchsorted(splitters, comps, side="left")
         cmp_search(m, len(batch), max(1, len(splitters)))
-        touched: set[int] = set()
-        for j in np.unique(j_of):
-            recs = batch[j_of == j]
-            part = idx._parts[int(j)]
-            writer = BlockWriter(m, "svc-append")
-            try:
-                writer.write(recs)
-                seg = writer.close()
-            except BaseException:
-                writer.abort()
-                raise
-            part.segments.append(seg)
-            part.stored += len(recs)
-            touched.add(int(j))
-        idx._n_live += len(batch)
-        return touched
+        done = np.zeros(len(batch), dtype=bool)
+        try:
+            for j in np.unique(j_of):
+                sel = j_of == j
+                recs = batch[sel]
+                part = idx._parts[int(j)]
+                writer = BlockWriter(m, "svc-append")
+                try:
+                    writer.write(recs)
+                    seg = writer.close()
+                except BaseException:
+                    writer.abort()
+                    raise
+                part.segments.append(seg)
+                part.stored += len(recs)
+                idx._n_live += len(recs)
+                touched.add(int(j))
+                applied.append(("append", recs))
+                done |= sel
+        except BaseException:
+            leftover.append(batch[~done])
+            raise
 
-    def _apply_delete(self, key: int) -> int:
-        """Tombstone one live record with ``key``; returns its partition.
+    def _apply_delete(self, key: int) -> tuple[int, int]:
+        """Tombstone one live record with ``key``.
 
-        Duplicate keys equal to a splitter key can straddle a partition
-        boundary, so every candidate partition between the key's lowest
-        and highest possible composite is scanned until a live victim is
-        found.
+        Returns ``(partition, uid)`` of the victim — the uid is what a
+        durable index logs so that recovery replays the *same* victim
+        regardless of how the rebuilt index is laid out.  Duplicate keys
+        equal to a splitter key can straddle a partition boundary, so
+        every candidate partition between the key's lowest and highest
+        possible composite is scanned until a live victim is found.
         """
         idx = self._index
         m = idx._machine
@@ -190,5 +330,36 @@ class DeltaBuffer:
                                 part.tombstones.add(c)
                                 idx._n_live -= 1
                                 idx._sync_resident()
-                                return j
+                                return j, int(rec["uid"])
         raise SpecError(f"delete: no live element with key {key}")
+
+    def _apply_delete_exact(self, key: int, uid: int) -> int:
+        """Tombstone the exact record ``(key, uid)``; returns its partition.
+
+        WAL replay applies the victim the original run resolved, so the
+        rebuilt index tombstones the same element even when its partition
+        layout diverged from the crashed process's.
+        """
+        idx = self._index
+        m = idx._machine
+        splitters = idx._splitters
+        c = composite_of(int(key), int(uid))
+        j_lo = int(np.searchsorted(splitters, composite_of(key, 0), "left"))
+        j_hi = int(
+            np.searchsorted(splitters, composite_of(key, UID_MAX), "left")
+        )
+        cmp_search(m, 2, max(1, len(splitters)))
+        for j in range(j_lo, min(j_hi, len(idx._parts) - 1) + 1):
+            part = idx._parts[j]
+            if c in part.tombstones:
+                continue
+            for seg in part.segments:
+                with BlockReader(seg, "svc-delete-scan") as reader:
+                    for block in reader:
+                        cmp_linear(m, len(block))
+                        if bool(np.any(composite(block) == c)):
+                            part.tombstones.add(c)
+                            idx._n_live -= 1
+                            idx._sync_resident()
+                            return j
+        raise SpecError(f"replay delete: no live element ({key}, {uid})")

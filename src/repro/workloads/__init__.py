@@ -5,6 +5,7 @@ from .queries import (
     adversarial_trace,
     mixed_query_trace,
     uniform_trace,
+    update_batches,
     zipfian_trace,
 )
 from .generators import (
@@ -39,5 +40,6 @@ __all__ = [
     "adversarial_trace",
     "mixed_query_trace",
     "uniform_trace",
+    "update_batches",
     "zipfian_trace",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "zipfian_trace",
     "adversarial_trace",
     "mixed_query_trace",
+    "update_batches",
     "QUERY_TRACES",
 ]
 
@@ -126,6 +127,61 @@ def mixed_query_trace(
         else:
             out.append(("partition_of", int(rng.integers(0, key_range))))
     return out
+
+
+def update_batches(
+    initial_keys,
+    batches: int,
+    appends: int,
+    deletes: int,
+    seed: int = 0,
+) -> list[list[tuple]]:
+    """A deterministic interleaved update plan for the partition service.
+
+    Returns ``batches`` lists of operations — ``("append", keys_array)``
+    and ``("delete", key)`` tuples, shuffled together within each batch —
+    such that every delete targets a key that is live at its position in
+    the plan (tracking appends and deletes across batches), so applying
+    the plan in order through
+    :class:`repro.service.updates.DeltaBuffer` never raises.  Appended
+    keys are fresh (disjoint from ``initial_keys``).  The same
+    ``(initial_keys, batches, appends, deletes, seed)`` always produces
+    the same plan — crash tests replay it on a shadow index and compare
+    answers, and the durability solver replays it for the budget gate.
+    """
+    if batches < 0 or appends < 0 or deletes < 0:
+        raise ValueError("batches/appends/deletes must be >= 0")
+    rng = _rng(seed)
+    live = [int(k) for k in np.asarray(initial_keys, dtype=np.int64)]
+    fresh = (
+        int(max(live)) + 1 if live else 0
+    )  # appended keys start past the initial key range
+    plan: list[list[tuple]] = []
+    for _ in range(batches):
+        ops: list[tuple] = []
+        new_keys = np.arange(fresh, fresh + appends, dtype=np.int64)
+        fresh += appends
+        # Split the appends into a few runs so batches interleave
+        # appends and deletes rather than grouping all appends first.
+        runs = int(rng.integers(1, 4)) if appends else 0
+        bounds = sorted(
+            int(rng.integers(0, appends + 1)) for _ in range(runs - 1)
+        )
+        for lo, hi in zip([0, *bounds], [*bounds, appends]):
+            if hi > lo:
+                ops.append(("append", new_keys[lo:hi]))
+        victims: list[int] = []
+        for _ in range(min(deletes, len(live))):
+            victims.append(live.pop(int(rng.integers(len(live)))))
+        ops.extend(("delete", v) for v in victims)
+        order = rng.permutation(len(ops))
+        batch = [ops[i] for i in order]
+        # A delete may precede the append run introducing other fresh
+        # keys — that's the interleaving under test — but deletes always
+        # target keys live *before* this batch, so order stays valid.
+        plan.append(batch)
+        live.extend(int(k) for k in new_keys)
+    return plan
 
 
 #: Registry of named rank traces: name -> ``fn(q, n, seed) -> ranks``.

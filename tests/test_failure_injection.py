@@ -151,3 +151,48 @@ def test_failure_after_completion_is_no_fault():
     arm_fault(mach, 10**9)
     out = external_sort(mach, f)
     assert len(out) == 512
+
+
+# ---------------------------------------------------------------------------
+# Service-layer chaos: the durable partition service must leave zero
+# leaked leases after a kill at any I/O, and its manifest must always be
+# recoverable.  The full identity-vs-shadow sweep lives in
+# tests/test_durability.py; these entries keep the service in the same
+# kill-at-any-I/O harness as the offline algorithms.
+# ---------------------------------------------------------------------------
+
+
+def _service_scenario(mach, f):
+    from repro.service import DurablePartitionIndex
+
+    index = DurablePartitionIndex.build_durable(
+        mach, f, 8, snapshot_every=2
+    )
+    try:
+        for i in range(4):
+            index.append(
+                np.arange(10_000 + 32 * i, 10_032 + 32 * i, dtype=np.int64)
+            )
+            index.delete(10_000 + 32 * i)
+            index.flush_updates()
+        index.snapshot()
+    finally:
+        index.abandon()
+
+
+@pytest.mark.parametrize("fail_at", [1, 7, 25, 60, 120])
+def test_service_releases_leases_on_midrun_failure(fail_at):
+    # The fault is armed *before* the durable build, so offsets can land
+    # inside WAL preformatting and the build-time snapshot too — paths
+    # the post-build identity sweep in test_durability.py never reaches.
+    mach = Machine(memory=2048, block=32)
+    f = load_input(mach, random_permutation(2048, seed=9))
+    arm_fault(mach, fail_at)
+    try:
+        _service_scenario(mach, f)
+    except InjectedFault:
+        pass
+    assert mach.memory.in_use == 0, (
+        f"service leaked {mach.memory.in_use} leased records after a "
+        f"fault at I/O #{fail_at}"
+    )
