@@ -61,20 +61,15 @@ def distribute_by_pivots(
             writers.append(BlockWriter(machine, f"{label}-bucket{i}"))
         # Scan in memory-sized chunks (same I/O count as block-at-a-time;
         # the grouping work then runs once per chunk instead of per block).
+        kernel = machine.kernel
         with scan_chunks(file, machine.load_limit, f"{label}-in") as chunks:
             for chunk in chunks:
                 if len(chunk) == 0:
                     continue
-                idx = bucket_indices(chunk, pivot_comps)
+                idx = kernel.bucket_of(chunk, pivot_comps)
                 cmp_search(machine, len(chunk), len(pivot_comps))
-                # Group the chunk's records by destination bucket.
-                order = np.argsort(idx, kind="stable")
-                sorted_idx = idx[order]
-                boundaries = np.flatnonzero(np.diff(sorted_idx)) + 1
-                starts = np.concatenate(([0], boundaries))
-                ends = np.concatenate((boundaries, [len(chunk)]))
-                for s, e in zip(starts, ends):
-                    writers[int(sorted_idx[s])].write(chunk[order[s:e]])
+                for b, group in kernel.group_by_bucket(chunk, idx):
+                    writers[b].write(group)
     except BaseException:
         for w in writers:
             w.abort()

@@ -24,7 +24,6 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..em.comparisons import cmp_search
-from ..em.records import composite
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..em.machine import Machine
@@ -48,9 +47,8 @@ def partition_at_ranks(
     kth = kth[(kth > 0) & (kth < n)]
     if n == 0 or len(kth) == 0:
         return records.copy()
-    order = np.argpartition(composite(records), kth - 1)
     cmp_search(machine, n, len(kth) + 1)
-    return records[order]
+    return machine.kernel.partition_at(records, kth - 1)
 
 
 def select_at_ranks(
@@ -68,7 +66,7 @@ def select_at_ranks(
     if len(ranks) == 0:
         return records[:0]
     kth = np.unique(ranks) - 1
-    order = np.argpartition(composite(records), kth)
+    order = machine.kernel.rank_order(records, kth)
     cmp_search(machine, n, len(kth))
     # order[kth[i]] is the element of rank kth[i]+1; map back to inputs.
     position = {int(r): int(order[r - 1]) for r in np.unique(ranks)}

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..em.errors import FileError
 from ..em.file import EMFile
-from ..em.records import concat_records, empty_records
+from ..em.records import empty_records
 from ..em.streams import BlockReader, BlockWriter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,7 +98,9 @@ class PartitionedFile:
         out: list[np.ndarray] = []
         for p in range(self.num_partitions):
             parts = [seg.to_numpy(counted=False) for seg in self.segments_of(p)]  # emlint: disable=R2 — verification-only, documented uncounted
-            out.append(concat_records(parts) if parts else empty_records(0))
+            out.append(
+                self.machine.kernel.concat(parts) if parts else empty_records(0)
+            )
         return out
 
     def materialize(self) -> tuple[EMFile, list[int]]:

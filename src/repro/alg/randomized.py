@@ -26,7 +26,7 @@ import numpy as np
 from ..em.comparisons import cmp_search, cmp_sort
 from ..em.errors import SpecError
 from ..em.file import EMFile
-from ..em.records import composite, empty_records, sort_records
+from ..em.records import composite, empty_records
 from ..em.streams import BlockReader
 from ..bounds.probabilistic import sample_size_for_window
 from .inmemory import select_at_ranks
@@ -94,7 +94,7 @@ def block_sample(
                         replace=False)
     with machine.memory.lease(n_blocks * machine.B, "block-sample"):
         parts = [file.read_block(int(i)) for i in chosen]
-        sample = np.concatenate(parts)
+        sample = machine.kernel.concat(parts)
     idx = rng.permutation(len(sample))[:size]
     return sample[idx]
 
@@ -132,7 +132,7 @@ def randomized_splitters(
         sample = sampler(machine, file, s, seed=seed + attempt)
         with machine.memory.lease(len(sample) + k, "rand-splitters"):
             cmp_sort(machine, len(sample))
-            srt = sort_records(sample)
+            srt = machine.kernel.sort_by_composite(sample)
             positions = np.unique(
                 np.clip(
                     np.round(np.arange(1, k) * len(srt) / k).astype(np.int64),
@@ -141,7 +141,7 @@ def randomized_splitters(
                 )
             )
             candidates = select_at_ranks(machine, srt, positions)
-            candidates = sort_records(candidates)
+            candidates = machine.kernel.sort_by_composite(candidates)
             if len(candidates) != k - 1:
                 continue  # duplicate positions from a tiny sample
             # Verification scan: exact induced bucket sizes.
@@ -150,7 +150,7 @@ def randomized_splitters(
             with BlockReader(file, "rand-verify") as reader:
                 for block in reader:
                     cmp_search(machine, len(block), k)
-                    j = np.searchsorted(cand_comps, composite(block), side="left")
+                    j = machine.kernel.bucket_of(block, cand_comps)
                     np.add.at(sizes, j, 1)
             if sizes.min() >= a and sizes.max() <= b:
                 return candidates, attempt

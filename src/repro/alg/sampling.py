@@ -31,7 +31,6 @@ import numpy as np
 
 from ..em.comparisons import cmp_sort
 from ..em.file import EMFile
-from ..em.records import composite, sort_records
 from ..em.streams import BlockWriter, scan_chunks
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,7 +91,7 @@ def chunk_samples_to_disk(
         with scan_chunks(file, chunk_records, "sample-chunk") as chunks:
             for chunk in chunks:
                 cmp_sort(machine, len(chunk))
-                chunk = sort_records(chunk)
+                chunk = machine.kernel.sort_by_composite(chunk)
                 # Local ranks q, 2q, ... (0-based indices q-1, 2q-1, ...).
                 idx = np.arange(q - 1, len(chunk), q)
                 writer.write(chunk[idx])
@@ -141,7 +140,7 @@ def approx_quantile_pivots(
                 machine, file.to_numpy(counted=True), positions
             )
             cmp_sort(machine, len(pivots))
-            return sort_records(pivots)
+            return machine.kernel.sort_by_composite(pivots)
     per_chunk = oversample * n_pivots
     # Geometric shrinkage guard: the sample file must be at most half the
     # input, otherwise the recursion would not terminate in O(n/B).

@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING
 
 from ..em.comparisons import cmp_sort
 from ..em.file import EMFile
-from ..em.records import sort_records
 from ..em.streams import BlockWriter, merge_sorted_files, scan_chunks
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,7 +42,7 @@ def form_runs(machine: "Machine", file: EMFile) -> list[EMFile]:
             for chunk in chunks:
                 cmp_sort(machine, len(chunk))
                 with BlockWriter(machine, "run") as writer:
-                    writer.write(sort_records(chunk))
+                    writer.write(machine.kernel.sort_by_composite(chunk))
                     runs.append(writer.close())
     return runs
 

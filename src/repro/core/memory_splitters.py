@@ -39,7 +39,7 @@ import numpy as np
 
 from ..em.comparisons import cmp_sort
 from ..em.file import EMFile
-from ..em.records import composite, empty_records, sort_records
+from ..em.records import empty_records
 from ..alg.distribute import distribute_by_pivots
 from ..alg.sampling import (
     approx_quantile_pivots,
@@ -112,7 +112,7 @@ def memory_splitters(
                 machine, file.to_numpy(counted=True), positions
             )
             cmp_sort(machine, len(pivots))
-            return sort_records(pivots)
+            return machine.kernel.sort_by_composite(pivots)
 
     # Single-level fast path: when a high-oversample sampling cascade can
     # already deliver all P-1 pivots with rank error well below N/P, skip
@@ -144,9 +144,8 @@ def memory_splitters(
                 all_pivots.append(approx_quantile_pivots(machine, bucket, local))
             bucket.free()
 
-    splitters = np.concatenate(all_pivots)
+    splitters = machine.kernel.concat(all_pivots)
     with machine.memory.lease(len(splitters), "ms-result"):
         cmp_sort(machine, len(splitters))
-        order = np.argsort(composite(splitters), kind="stable")
-        splitters = splitters[order]
+        splitters = machine.kernel.sort_by_composite(splitters)
     return splitters

@@ -33,7 +33,7 @@ import numpy as np
 from ..em.comparisons import cmp_search
 from ..em.errors import SpecError
 from ..em.file import EMFile
-from ..em.records import RECORD_DTYPE, composite, sort_records
+from ..em.records import RECORD_DTYPE, composite
 from ..em.streams import BlockReader, BlockWriter
 from ..alg.multipartition import multi_partition_at_ranks
 from .intermixed import intermixed_select, max_groups
@@ -128,7 +128,11 @@ def _base_case(machine: "Machine", file: EMFile, ranks: np.ndarray) -> np.ndarra
             with BlockReader(file, "msel-sizes") as reader:
                 for block in reader:
                     cmp_search(machine, len(block), n_buckets)
-                    np.add.at(sizes, _buckets_of(block, splitter_comps), 1)
+                    np.add.at(
+                        sizes,
+                        machine.kernel.bucket_of(block, splitter_comps),
+                        1,
+                    )
             prefix = np.cumsum(sizes)
 
             # Locate each rank: bucket j(i) and local rank t_i.
@@ -148,7 +152,7 @@ def _base_case(machine: "Machine", file: EMFile, ranks: np.ndarray) -> np.ndarra
                 with BlockReader(file, "msel-build") as reader:
                     for block in reader:
                         cmp_search(machine, len(block), n_buckets)
-                        b = _buckets_of(block, splitter_comps)
+                        b = machine.kernel.bucket_of(block, splitter_comps)
                         cnt = ngroups[b]
                         total = int(cnt.sum())
                         if total == 0:
@@ -169,13 +173,6 @@ def _base_case(machine: "Machine", file: EMFile, ranks: np.ndarray) -> np.ndarra
         finally:
             d_file.free()
     return answers
-
-
-def _buckets_of(block: np.ndarray, splitter_comps: np.ndarray) -> np.ndarray:
-    """Partition index of each record: ``#{splitters < e}`` (so that
-    ``P_j = S ∩ (s_{j-1}, s_j]`` as in the paper)."""
-    # Pure helper: every caller charges cmp_search for this searchsorted.
-    return np.searchsorted(splitter_comps, composite(block), side="left")  # emlint: disable=R3
 
 
 # ----------------------------------------------------------------------

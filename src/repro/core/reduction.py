@@ -28,7 +28,7 @@ import numpy as np
 from ..em.comparisons import cmp_linear
 from ..em.errors import SpecError
 from ..em.file import EMFile
-from ..em.records import RECORD_DTYPE, composite
+from ..em.records import RECORD_DTYPE
 from ..em.streams import BlockReader, BlockWriter
 from ..alg.partitioned import PartitionedFile
 from ..alg.selection import select_rank_fast
@@ -99,11 +99,11 @@ def _sweep_in_memory(machine: "Machine", approx: PartitionedFile, b: int) -> lis
                 for seg in approx.segments_of(p):
                     with BlockReader(seg, "sweep-read") as reader:
                         for block in reader:
-                            carry = np.concatenate((carry, block))
+                            carry = machine.kernel.concat([carry, block])
                     seg.free()
                 while len(carry) > b:
                     cmp_linear(machine, 2 * len(carry))
-                    idx = np.argpartition(composite(carry), b - 1)
+                    idx = machine.kernel.rank_order(carry, np.array([b - 1]))
                     out.append(
                         EMFile.from_records(
                             machine, carry[idx[:b]], counted=True
@@ -172,7 +172,7 @@ def _split_residue(
     limit = machine.M  # whole-residue load; no stream buffers needed
     if residue_len <= limit:
         with machine.memory.lease(residue_len, "sweep-load"):
-            data = np.concatenate(
+            data = machine.kernel.concat(
                 [seg.to_numpy(counted=True) for seg in residue]
             )
             for seg in residue:

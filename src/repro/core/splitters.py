@@ -36,7 +36,7 @@ import numpy as np
 from ..em.comparisons import cmp_linear, cmp_sort
 from ..em.errors import SpecError
 from ..em.file import EMFile
-from ..em.records import composite, composite_of, concat_records, empty_records
+from ..em.records import composite, composite_of, empty_records
 from ..em.streams import BlockReader, BlockWriter, scan_chunks
 from ..alg.selection import select_rank_fast
 from .multiselect import multi_select
@@ -133,7 +133,7 @@ def left_grounded_splitters(
             pad = _arbitrary_distinct(
                 machine, file, k - k_prime, exclude=main
             )
-            main = concat_records([main, pad])
+            main = machine.kernel.concat([main, pad])
     return SplitterResult(_sorted(machine, main), params, "left-grounded")
 
 
@@ -184,7 +184,7 @@ def two_sided_splitters(
             if k_high >= 2:
                 high_ranks = (np.arange(1, k_high, dtype=np.int64) * n_high) // k_high
                 parts.append(multi_select(machine, high_file, high_ranks))
-            splitters = concat_records(parts)
+            splitters = machine.kernel.concat(parts)
         finally:
             low_file.free()
             high_file.free()
@@ -197,8 +197,7 @@ def two_sided_splitters(
 def _sorted(machine: "Machine", records: np.ndarray) -> np.ndarray:
     """Sort the (small, memory-resident) splitter list, charged."""
     cmp_sort(machine, len(records))
-    order = np.argsort(composite(records), kind="stable")
-    return records[order]
+    return machine.kernel.sort_by_composite(records)
 
 
 def _take_prefix(machine: "Machine", file: EMFile, count: int) -> EMFile:
@@ -256,7 +255,7 @@ def _arbitrary_distinct(
             raise SpecError("not enough distinct elements to pad splitters")
     finally:
         lease.release()
-    return concat_records(picked)
+    return machine.kernel.concat(picked)
 
 
 def _split_at(

@@ -25,6 +25,14 @@ from .errors import (
     UseAfterFreeError,
 )
 from .file import EMFile
+from .kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KernelBackend,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
 from .machine import (
     Machine,
     MemoryAccountant,
@@ -59,6 +67,12 @@ __all__ = [
     "MemoryAccountant",
     "MemoryLease",
     "observe_machines",
+    "KernelBackend",
+    "KERNEL_ENV",
+    "DEFAULT_KERNEL",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "Disk",
     "IOCounters",
     "EMFile",

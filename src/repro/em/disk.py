@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from .errors import (
     UseAfterFreeError,
 )
 from .records import RECORD_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernels import KernelBackend
 
 __all__ = ["Disk", "IOCounters"]
 
@@ -98,10 +101,22 @@ class Disk:
     mutate disk state without paying a write.
     """
 
-    def __init__(self, block_size: int, *, sanitize: bool = False) -> None:
+    def __init__(
+        self,
+        block_size: int,
+        *,
+        sanitize: bool = False,
+        kernel: "KernelBackend | None" = None,
+    ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         self._B = int(block_size)
+        # Data-movement backend for the batched paths.  Accounting never
+        # moves into the kernel: the disk validates, charges, and traces,
+        # then hands the pure byte-shuffling to the backend.
+        from .kernels import get_kernel
+
+        self._kernel = get_kernel(kernel)
         # Strict sanitizer mode: track freed / written block ids so
         # use-after-free, double-free, and reads of never-written blocks
         # raise specific SanitizerErrors instead of the generic (or no)
@@ -155,6 +170,11 @@ class Disk:
     def sanitize(self) -> bool:
         """True when the strict runtime sanitizer is enabled."""
         return self._sanitize
+
+    @property
+    def kernel(self) -> "KernelBackend":
+        """The data-movement backend serving the batched paths."""
+        return self._kernel
 
     def _check_block(self, block_id: int, *, for_read: bool) -> None:
         """Sanitize-mode block validation (no-op when the block exists
@@ -416,57 +436,31 @@ class Disk:
         every piece of accounting — counters, phase attribution,
         :attr:`read_block_ids`, trace entries — are *identical* to ``k``
         successive :meth:`read` calls; only the Python-level overhead
-        (one numpy concatenation instead of ``k`` copies) differs.
+        differs.  The byte shuffling itself is delegated to the
+        machine's :attr:`kernel` backend once validation and charging
+        are done.
 
         All ids are validated before any accounting happens, so a bad id
-        raises without charging anything.
+        raises without charging anything.  ``block_ids`` may be any
+        sequence of ids, including a numpy integer array.
         """
-        if not block_ids:
+        if len(block_ids) == 0:
             return np.empty(0, dtype=RECORD_DTYPE)
-        # Single validation pass that also coalesces runs of blocks
-        # physically adjacent in one write batch's arena: each run then
-        # moves with a single numpy slice copy instead of one per block.
-        # No state is touched until every id has validated (atomic).
+        # Validation pass: no state is touched (and nothing is charged)
+        # until every id has validated (atomic).
         bmap = self._blocks
-        origin = self._origin
-        runs: list[tuple[np.ndarray, int, int]] = []  # (arena, offset, records)
-        total = 0
-        run_arena: np.ndarray | None = None
-        run_off = 0  # record offset of the run's start in its arena
-        run_len = 0  # records accumulated in the current run
         sanitize = self._sanitize
         for bid in block_ids:
             if sanitize:
                 self._check_block(bid, for_read=True)
-            try:
-                b = bmap[bid]
-            except KeyError:
-                raise BadBlockError(f"block {bid} is not allocated") from None
-            o = origin.get(bid)
-            if o is None:
-                arena, off = b, 0
-            else:
-                arena, off = o
-            nb = len(b)
-            if run_arena is arena and off == run_off + run_len:
-                run_len += nb
-            else:
-                if run_arena is not None:
-                    runs.append((run_arena, run_off, run_len))
-                run_arena, run_off, run_len = arena, off, nb
-            total += nb
-        runs.append((run_arena, run_off, run_len))
+            elif bid not in bmap:
+                raise BadBlockError(f"block {bid} is not allocated")
         self._charge(read=True, count=len(block_ids))
         if self._counting:
-            self._read_ids.update(block_ids)
+            self._read_ids.update(int(bid) for bid in block_ids)
             if self._trace is not None:
-                self._trace.extend(("r", bid) for bid in block_ids)
-        out = np.empty(total, dtype=RECORD_DTYPE)
-        pos = 0
-        for arena, off, n in runs:
-            out[pos : pos + n] = arena[off : off + n]
-            pos += n
-        return out
+                self._trace.extend(("r", int(bid)) for bid in block_ids)
+        return self._kernel.gather_blocks(bmap, self._origin, block_ids)
 
     def write_many(self, block_ids: Sequence[int], data: np.ndarray) -> None:
         """Write ``k`` blocks in one call; counts ``k`` write I/Os.
@@ -475,8 +469,11 @@ class Disk:
         exactly ``B`` records each and the last block the (non-empty)
         remainder — the :class:`~repro.em.file.EMFile` layout.  Cost and
         accounting are identical to ``k`` successive :meth:`write`
-        calls.  All ids and the payload shape are validated before any
+        calls; the stores themselves go through the :attr:`kernel`
+        backend.  All ids and the payload shape are validated before any
         block is touched or charged (atomic, like :meth:`free`).
+        ``block_ids`` may be any sequence of ids, including a numpy
+        integer array.
         """
         k = len(block_ids)
         if data.dtype != RECORD_DTYPE:
@@ -503,17 +500,13 @@ class Disk:
                 raise BadBlockError(f"block {bid} is not allocated")
             if bid in seen:
                 raise BadBlockError(f"block {bid} appears twice in write batch")
-            seen.add(bid)
+            seen.add(int(bid))
         self._charge(read=False, count=k)
         if self._counting and self._trace is not None:
-            self._trace.extend(("w", bid) for bid in block_ids)
-        buf = data.copy()  # one copy for the whole batch — the arena
-        blocks_map = self._blocks
-        origin = self._origin
-        for i, bid in enumerate(block_ids):
-            off = i * B
-            blocks_map[bid] = buf[off : off + B]
-            origin[bid] = (buf, off)
+            self._trace.extend(("w", int(bid)) for bid in block_ids)
+        self._kernel.scatter_blocks(
+            self._blocks, self._origin, block_ids, data, B
+        )
         if self._sanitize:
             self._written_ids.update(seen)
 

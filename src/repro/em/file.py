@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Iterator
 import numpy as np
 
 from .errors import FileError
-from .records import RECORD_DTYPE, concat_records, empty_records
+from .records import RECORD_DTYPE, empty_records
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -230,7 +230,7 @@ class EMFile:
             parts = [disk.read(bid) for bid in self._block_ids]
         else:
             parts = [disk.peek(bid) for bid in self._block_ids]
-        return concat_records(parts) if parts else empty_records(0)
+        return self.machine.kernel.concat(parts) if parts else empty_records(0)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,154 @@
+"""Wall-clock benchmark of the kernel backends.
+
+Times the four backend-differing primitives — arena gather, arena
+scatter, concatenation, and bucket grouping — on a scaled-up hot-path
+instance (a multi-thousand-block disk image and a multi-thousand-bucket
+distribution pass, the shapes the experiment suite actually produces),
+and cross-checks byte identity of every output against the reference
+backend while doing so.
+
+``sort_by_composite`` / ``bucket_of`` / ``partition_at`` are *not*
+timed: they are canonical implementations shared via
+:class:`~repro.em.kernels.base.KernelBackend`, identical by
+construction, so their ratio is 1.0 by definition.
+
+Used by ``repro bench-kernels`` and ``benchmarks/test_kernel_backend.py``
+(which records the result in ``benchmarks/out/KERNEL_BACKEND.txt``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..disk import Disk
+from ..records import make_records
+from . import available_kernels, get_kernel
+
+__all__ = ["KernelBenchResult", "bench_kernels", "render_bench"]
+
+#: Primitive names in report order.
+OPS = ("gather", "scatter", "concat", "group")
+
+
+@dataclass
+class KernelBenchResult:
+    """Per-backend wall-clock seconds for each primitive, plus shape."""
+
+    n_blocks: int
+    block: int
+    n_buckets: int
+    reps: int
+    #: kernel name -> {op name -> seconds}
+    timings: dict[str, dict[str, float]] = field(default_factory=dict)
+    identical: bool = True
+
+    def total(self, kernel: str) -> float:
+        return sum(self.timings[kernel].values())
+
+    def speedup(self, kernel: str, baseline: str = "numpy_v1") -> float:
+        """Wall-clock ratio baseline/kernel over the whole suite."""
+        return self.total(baseline) / self.total(kernel)
+
+
+def bench_kernels(
+    n_blocks: int = 8192,
+    block: int = 64,
+    n_buckets: int = 2000,
+    reps: int = 3,
+    kernels: tuple[str, ...] | None = None,
+) -> KernelBenchResult:
+    """Time every registered backend on the primitive suite.
+
+    The instance: ``n_blocks`` full blocks staged contiguously on a
+    disk (one arena, the layout ``write_many`` produces), a same-sized
+    record payload, a ``n_buckets``-way bucket assignment, and a
+    500-part concatenation.  Each primitive runs ``reps`` times; the
+    recorded figure is the total.
+    """
+    names = kernels or available_kernels()
+    n = n_blocks * block
+
+    disk = Disk(block)
+    ids = disk.allocate(n_blocks)
+    payload = make_records(np.arange(n))
+    with disk.uncounted():
+        disk.write_many(ids, payload)
+    bucket_idx = np.random.default_rng(0).integers(0, n_buckets, size=n)
+    parts = np.array_split(payload, 500)
+
+    result = KernelBenchResult(
+        n_blocks=n_blocks, block=block, n_buckets=n_buckets, reps=reps
+    )
+    reference: dict[str, bytes] = {}
+    for name in names:
+        kern = get_kernel(name)
+        tasks = {
+            "gather": lambda: kern.gather_blocks(
+                disk._blocks, disk._origin, ids
+            ),
+            "scatter": lambda: _scatter_roundtrip(
+                kern, disk, ids, payload, block
+            ),
+            "concat": lambda: kern.concat(parts),
+            "group": lambda: _group_digest(kern, payload, bucket_idx),
+        }
+        timings: dict[str, float] = {}
+        for op in OPS:
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                out = tasks[op]()
+            timings[op] = time.perf_counter() - t0
+            digest = _digest(out)
+            if op not in reference:
+                reference[op] = digest
+            elif digest != reference[op]:
+                result.identical = False
+        result.timings[name] = timings
+    return result
+
+
+def _scatter_roundtrip(kern, disk, ids, payload, block):
+    kern.scatter_blocks(disk._blocks, disk._origin, ids, payload, block)
+    return disk._blocks[ids[0]]
+
+
+def _group_digest(kern, payload, bucket_idx):
+    return list(kern.group_by_bucket(payload, bucket_idx))
+
+
+def _digest(out) -> bytes:
+    if isinstance(out, list):
+        return b"".join(
+            int(b).to_bytes(8, "little") + r.tobytes() for b, r in out
+        )
+    return np.asarray(out).tobytes()
+
+
+def render_bench(result: KernelBenchResult) -> str:
+    """Human-readable report (the KERNEL_BACKEND.txt payload)."""
+    lines = [
+        "kernel backend benchmark",
+        f"  instance: {result.n_blocks} blocks x B={result.block} "
+        f"({result.n_blocks * result.block:,} records), "
+        f"{result.n_buckets} buckets, {result.reps} reps/op",
+        "",
+        f"  {'kernel':<16}" + "".join(f"{op:>10}" for op in OPS)
+        + f"{'total':>10}{'speedup':>10}",
+    ]
+    for name, timings in result.timings.items():
+        total = result.total(name)
+        speed = result.speedup(name)
+        lines.append(
+            f"  {name:<16}"
+            + "".join(f"{timings[op]:>9.3f}s" for op in OPS)
+            + f"{total:>9.3f}s{speed:>9.2f}x"
+        )
+    lines += [
+        "",
+        f"  outputs byte-identical across backends: "
+        f"{'yes' if result.identical else 'NO'}",
+    ]
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from .disk import Disk, IOCounters
+from .kernels import KernelBackend, get_kernel
 from .errors import (
     DoubleReleaseError,
     LeaseError,
@@ -242,6 +243,15 @@ class Machine:
         counter-conservation checking in the span tracer.  ``None`` (the
         default) inherits the process-wide :func:`sanitize_default`
         (the ``EM_SANITIZE`` environment variable).
+    kernel:
+        Data-movement backend for the hot paths: a registered backend
+        name (``"numpy_v1"``, ``"vectorized_v2"``), a
+        :class:`~repro.em.kernels.KernelBackend` instance, or ``None``
+        (the default) to resolve the ``EM_KERNEL`` environment variable
+        and fall back to :data:`~repro.em.kernels.DEFAULT_KERNEL`.
+        Backends are byte- and counter-identical by contract; the choice
+        only affects wall-clock speed and is recorded in trace metadata
+        and ``results.json``.
 
     Examples
     --------
@@ -252,7 +262,12 @@ class Machine:
     """
 
     def __init__(
-        self, memory: int, block: int, *, sanitize: bool | None = None
+        self,
+        memory: int,
+        block: int,
+        *,
+        sanitize: bool | None = None,
+        kernel: "str | KernelBackend | None" = None,
     ) -> None:
         if block < 1:
             raise ValueError("block size B must be >= 1")
@@ -263,7 +278,7 @@ class Machine:
         if sanitize is None:
             sanitize = sanitize_default()
         self._sanitize = bool(sanitize)
-        self.disk = Disk(block, sanitize=self._sanitize)
+        self.disk = Disk(block, sanitize=self._sanitize, kernel=get_kernel(kernel))
         self.memory = MemoryAccountant(memory, sanitize=self._sanitize)
         self._comparisons = 0
         self._lifetime_comparisons = 0
@@ -307,6 +322,17 @@ class Machine:
     def sanitize(self) -> bool:
         """True when the strict runtime sanitizer is enabled."""
         return self._sanitize
+
+    @property
+    def kernel(self) -> KernelBackend:
+        """The data-movement backend this machine dispatches to.
+
+        Algorithm code routes every record-movement primitive —
+        concatenation, composite sort, bucket lookup, chunk grouping,
+        rank partitioning — through this object (emlint rule R6 enforces
+        it), so a backend swap changes wall-clock behaviour only.
+        """
+        return self.disk.kernel
 
     @property
     def load_limit(self) -> int:

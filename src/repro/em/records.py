@@ -124,7 +124,12 @@ def composite_of(key: int, uid: int) -> int:
 
 
 def sort_records(records: np.ndarray) -> np.ndarray:
-    """Return records sorted by the total order ``(key, uid)`` (a copy)."""
+    """Return records sorted by the total order ``(key, uid)`` (a copy).
+
+    Reference primitive: algorithm code should dispatch through
+    ``machine.kernel.sort_by_composite`` instead (emlint rule R6), so
+    the backend registry stays the single hot-path entry point.
+    """
     order = np.argsort(composite(records), kind="stable")
     return records[order]
 
@@ -136,6 +141,9 @@ def concat_records(parts: list[np.ndarray]) -> np.ndarray:
     structured dtypes numpy re-promotes the field dtypes per input
     array, which dominates the runtime of many-small-block
     concatenations on the batched I/O path.
+
+    Reference primitive: algorithm code should dispatch through
+    ``machine.kernel.concat`` instead (emlint rule R6).
     """
     if not parts:
         return empty_records(0)

@@ -18,7 +18,10 @@ never exceed ``M``.
 All streams move data through the disk's batched fast path
 (:meth:`~repro.em.disk.Disk.read_many` / ``write_many``) — one numpy
 concatenation per chunk instead of one Python call per block — while
-charging exactly the same per-block model cost.
+charging exactly the same per-block model cost.  Record concatenation
+and merge ordering dispatch through the machine's
+:attr:`~repro.em.machine.Machine.kernel` backend, so a backend swap
+changes wall-clock behaviour only.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import numpy as np
 from .comparisons import cmp_search
 from .errors import StreamError
 from .file import EMFile
-from .records import composite, concat_records, empty_records
+from .records import composite, empty_records
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -111,7 +114,7 @@ class BlockWriter:
         self._buffered += len(records)
         B = self.machine.B
         if self._buffered >= B:
-            data = concat_records(self._parts)
+            data = self.machine.kernel.concat(self._parts)
             n_full = (len(data) // B) * B
             # One batched write for all full blocks (same one-I/O-per-
             # block cost as appending them individually).
@@ -125,7 +128,7 @@ class BlockWriter:
         if self._closed:
             raise StreamError("writer already closed")
         if self._buffered:
-            self._file.append_block(concat_records(self._parts))
+            self._file.append_block(self.machine.kernel.concat(self._parts))
             self._parts = []
             self._buffered = 0
         self._lease.release()
@@ -285,10 +288,9 @@ def merge_sorted_files(machine: "Machine", files: list[EMFile], writer: BlockWri
                 if cut:
                     gathered.append(buffers[i][:cut])
                     buffers[i] = buffers[i][cut:]
-            out = concat_records(gathered)
-            order = np.argsort(composite(out), kind="stable")
+            out = machine.kernel.concat(gathered)
             cmp_search(machine, len(out), len(active))
-            writer.write(out[order])
+            writer.write(machine.kernel.sort_by_composite(out))
     finally:
         lease.release()
 

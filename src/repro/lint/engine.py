@@ -236,7 +236,13 @@ def get_rules(rule_ids: Iterable[str] | None = None) -> list[LintRule]:
 
 def _ensure_loaded() -> None:
     """Import the rule modules (idempotent) so the registry is filled."""
-    from . import rules_access, rules_cpu, rules_lease, rules_rng  # noqa: F401
+    from . import (  # noqa: F401
+        rules_access,
+        rules_cpu,
+        rules_kernel,
+        rules_lease,
+        rules_rng,
+    )
 
 
 def lint_source(

@@ -143,6 +143,7 @@ class MachineTrace:
         self.index = index
         self.M = machine.M
         self.B = machine.B
+        self.kernel = machine.kernel.name
         # Lifetime-counter baseline for the conservation check: the
         # exclusive span counts recorded between attach and detach must
         # sum exactly to the machine's lifetime deltas over the same
@@ -264,12 +265,14 @@ class MachineTrace:
             "machine": self.index,
             "M": self.M,
             "B": self.B,
+            "kernel": self.kernel,
             "root": self.root.to_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MachineTrace(#{self.index}, M={self.M}, B={self.B}, "
+            f"kernel={self.kernel}, "
             f"io={self.root.cum_io}, spans={sum(1 for _ in self.root.walk())})"
         )
 

@@ -41,7 +41,6 @@ from ..em.records import (
     composite,
     composite_of,
     empty_records,
-    sort_records,
 )
 from ..em.streams import BlockReader, BlockWriter
 from ..alg.inmemory import select_at_ranks
@@ -521,7 +520,7 @@ class PartitionIndex:
         with m.memory.lease(self._footprint(part), "svc-split-load"):
             recs = self._read_segments(part.segments)
             cmp_sort(m, len(recs))
-            recs = sort_records(recs)
+            recs = m.kernel.sort_by_composite(recs)
             new_parts: list[_Partition] = []
             maxima: list[int] = []
             off = 0

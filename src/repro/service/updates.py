@@ -45,7 +45,6 @@ from ..em.records import (
     UID_MAX,
     composite,
     composite_of,
-    concat_records,
     make_records,
 )
 from ..em.streams import BlockReader, BlockWriter
@@ -165,7 +164,7 @@ class DeltaBuffer:
                             batch = (
                                 run[0]
                                 if len(run) == 1
-                                else concat_records(run)
+                                else m.kernel.concat(run)
                             )
                             self._apply_appends(
                                 batch, touched, applied, leftover
@@ -237,7 +236,7 @@ class DeltaBuffer:
                     while pos < len(entries) and entries[pos][0] == "append":
                         run.append(entries[pos][1])
                         pos += 1
-                    batch = run[0] if len(run) == 1 else concat_records(run)
+                    batch = run[0] if len(run) == 1 else m.kernel.concat(run)
                     self._apply_appends(batch, touched, [], [])
                     n_app += len(batch)
                     hi = int(batch["uid"].max())

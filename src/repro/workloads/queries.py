@@ -64,7 +64,14 @@ def zipfian_trace(
     if alpha <= 1.0:
         raise ValueError("zipf exponent must exceed 1")
     ids = _rng(seed).zipf(alpha, size=q).astype(np.int64)
-    return ((ids - 1) * _SCATTER) % n + 1
+    # Reduce mod n *before* multiplying: zipf draws are unbounded, and
+    # ``(ids - 1) * _SCATTER`` overflows int64 for ids ≳ 2^32 (heavy-tail
+    # draws hit this with probability ≈ q·2^(-32(alpha-1)), i.e. routinely
+    # for alpha near 1), silently folding the wrapped hot ids onto
+    # implementation-defined ranks.  ``(x % n) * (_SCATTER % n)`` is
+    # congruent to ``x * _SCATTER`` mod n and stays below n·n ≤ 2^62 for
+    # n ≤ 2^31, the supported file-size range.
+    return ((ids - 1) % n) * (_SCATTER % n) % n + 1
 
 
 def _bit_reverse(i: int, bits: int) -> int:

@@ -20,7 +20,17 @@ from repro.em import (
     Machine,
     composite,
 )
+from repro.em import available_kernels
 from repro.em.records import make_records
+
+
+@pytest.fixture(autouse=True, params=available_kernels())
+def each_kernel(request, monkeypatch):
+    """Run every test in this module under every registered kernel
+    backend (the Disk constructor resolves ``EM_KERNEL`` at build time),
+    so the batched-vs-single identity is proven per backend."""
+    monkeypatch.setenv("EM_KERNEL", request.param)
+    return request.param
 
 
 def blk(n, start=0):
@@ -106,6 +116,59 @@ class TestReadManyDifferential:
             d.read_many(ids)
         assert d.counters.total == 0
         assert d.read_block_ids == frozenset()
+
+
+class TestIdContainerTypes:
+    """Regression: ``if not block_ids:`` raised ``ValueError: The truth
+    value of an array with more than one element is ambiguous`` when a
+    caller passed a numpy array of ids.  Every sequence type must behave
+    identically, including when empty."""
+
+    @pytest.mark.parametrize("wrap", [list, tuple, np.asarray])
+    def test_read_many_accepts_any_sequence(self, wrap):
+        d, ids = staged_disk()
+        out = d.read_many(wrap(ids))
+        assert d.counters.reads == len(ids)
+        assert np.array_equal(out, d.read_many(list(ids)))
+
+    @pytest.mark.parametrize(
+        "empty", [[], (), np.empty(0, dtype=np.int64)]
+    )
+    def test_read_many_empty_of_any_type(self, empty):
+        d, _ = staged_disk()
+        out = d.read_many(empty)
+        assert len(out) == 0 and d.counters.total == 0
+
+    @pytest.mark.parametrize("wrap", [list, tuple, np.asarray])
+    def test_write_many_accepts_any_sequence(self, wrap):
+        B = 8
+        d = Disk(B)
+        ids = d.allocate(3)
+        payload = blk(3 * B)
+        d.write_many(wrap(ids), payload)
+        assert d.counters.writes == 3
+        assert np.array_equal(d.peek(ids[0]), payload[:B])
+
+    @pytest.mark.parametrize(
+        "empty", [[], (), np.empty(0, dtype=np.int64)]
+    )
+    def test_write_many_empty_of_any_type(self, empty):
+        d = Disk(8)
+        d.write_many(empty, blk(0))
+        assert d.counters.total == 0
+
+    def test_numpy_ids_count_and_trace_like_python_ints(self):
+        d1, ids1 = staged_disk()
+        d2, ids2 = staged_disk()
+        d1.start_trace()
+        d2.start_trace()
+        d1.read_many(list(ids1))
+        d2.read_many(np.asarray(ids2, dtype=np.int64))
+        assert observable_state(d1) == observable_state(d2)
+        t1, t2 = d1.stop_trace(), d2.stop_trace()
+        assert t1 == t2
+        # Trace ids must be plain ints regardless of the input container.
+        assert all(type(bid) is int for _, bid in t2)
 
 
 class TestWriteManyDifferential:

@@ -1,0 +1,332 @@
+"""Kernel backend registry + cross-backend identity proofs.
+
+The kernel layer (:mod:`repro.em.kernels`) owns block movement and batch
+record comparisons; the accounting layer (counters, leases, phases,
+traces) stays in ``Disk``/``Machine``.  Swapping the backend must
+therefore be *unobservable* in the model: byte-identical answers and
+identical counters, per-phase breakdowns, read-id sets, and access
+traces.  These tests prove that identity at three levels — primitives,
+whole algorithms, the service's query/update paths — and across every
+registered experiment in quick mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KernelBackend,
+    Machine,
+    available_kernels,
+    composite,
+    get_kernel,
+)
+from repro.em.kernels import _REGISTRY, register_kernel
+from repro.em.records import RECORD_DTYPE, make_records
+from repro.workloads import load_input, random_permutation, zipf_like
+from repro.workloads.queries import zipfian_trace
+
+KERNELS = available_kernels()
+
+
+def _records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = np.empty(n, dtype=RECORD_DTYPE)
+    out["key"] = rng.integers(0, max(1, n // 2), size=n)  # duplicates
+    out["uid"] = rng.permutation(n)
+    out["grp"] = 0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_both_builtins_registered(self):
+        assert set(KERNELS) >= {"numpy_v1", "vectorized_v2"}
+        assert DEFAULT_KERNEL in KERNELS
+
+    def test_get_kernel_by_name_and_default(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert get_kernel("numpy_v1").name == "numpy_v1"
+        assert get_kernel(None).name == DEFAULT_KERNEL
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numpy_v1")
+        assert get_kernel(None).name == "numpy_v1"
+        assert Machine(memory=64, block=8).kernel.name == "numpy_v1"
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numpy_v1")
+        assert Machine(
+            memory=64, block=8, kernel="vectorized_v2"
+        ).kernel.name == "vectorized_v2"
+
+    def test_instance_passthrough(self):
+        inst = get_kernel("numpy_v1")
+        assert get_kernel(inst) is inst
+        assert Machine(memory=64, block=8, kernel=inst).kernel is inst
+
+    def test_unknown_kernel_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="numpy_v1"):
+            get_kernel("no_such_backend")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(KernelBackend):
+            name = "numpy_v1"
+
+        with pytest.raises(ValueError, match="duplicate kernel"):
+            register_kernel(Dup)
+        assert type(_REGISTRY["numpy_v1"]).__name__ == "NumpyV1Kernel"
+
+    def test_unnamed_registration_rejected(self):
+        class NoName(KernelBackend):
+            pass
+
+        with pytest.raises(ValueError, match="name"):
+            register_kernel(NoName)
+
+    def test_trace_metadata_records_kernel(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with tracer.install():
+            m = Machine(memory=64, block=8, kernel="numpy_v1")
+            m.close()
+        (trace,) = tracer.traces
+        assert trace.kernel == "numpy_v1"
+        assert trace.to_dict()["kernel"] == "numpy_v1"
+
+
+# ----------------------------------------------------------------------
+# Primitive identity
+# ----------------------------------------------------------------------
+class TestPrimitiveIdentity:
+    """Every primitive returns byte-identical output on every backend."""
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 256, 1000])
+    def test_sort_by_composite(self, n):
+        recs = _records(n, seed=n)
+        outs = [get_kernel(k).sort_by_composite(recs) for k in KERNELS]
+        for o in outs[1:]:
+            assert np.array_equal(outs[0], o)
+        if n:
+            assert np.all(np.diff(composite(outs[0])) > 0)
+
+    @pytest.mark.parametrize("n", [0, 1, 255, 1000])
+    def test_bucket_of_and_grouping(self, n):
+        recs = _records(n, seed=n + 1)
+        pivots = np.sort(
+            np.random.default_rng(5).integers(0, 2**40, size=7)
+        )
+        idxs = [get_kernel(k).bucket_of(recs, pivots) for k in KERNELS]
+        for i in idxs[1:]:
+            assert np.array_equal(idxs[0], i)
+        groups = [
+            list(get_kernel(k).group_by_bucket(recs, idxs[0]))
+            for k in KERNELS
+        ]
+        for g in groups[1:]:
+            assert len(g) == len(groups[0])
+            for (b0, r0), (b1, r1) in zip(groups[0], g):
+                assert b0 == b1
+                assert np.array_equal(r0, r1)
+        # Groups preserve input order within buckets and skip empties.
+        for b, r in groups[0]:
+            assert len(r) > 0
+            src = recs[idxs[0] == b]
+            assert np.array_equal(r, src)
+
+    def test_partition_and_rank_order(self):
+        recs = _records(512, seed=3)
+        kth = np.array([10, 100, 400])
+        parts = [get_kernel(k).partition_at(recs, kth) for k in KERNELS]
+        orders = [get_kernel(k).rank_order(recs, kth) for k in KERNELS]
+        for p in parts[1:]:
+            assert np.array_equal(parts[0], p)
+        for o in orders[1:]:
+            assert np.array_equal(orders[0], o)
+        comp = composite(parts[0])
+        for b in kth:
+            assert comp[:b].max() < comp[b]
+
+    def test_concat(self):
+        parts = [_records(n, seed=n) for n in (0, 3, 64, 1)]
+        outs = [get_kernel(k).concat(parts) for k in KERNELS]
+        for o in outs[1:]:
+            assert np.array_equal(outs[0], o)
+        assert len(outs[0]) == 68
+        empty = [get_kernel(k).concat([]) for k in KERNELS]
+        for e in empty:
+            assert len(e) == 0 and e.dtype == RECORD_DTYPE
+
+
+# ----------------------------------------------------------------------
+# Whole-algorithm identity: counters, phases, traces, bytes
+# ----------------------------------------------------------------------
+def _run_traced(kernel_name, scenario, **mach_kw):
+    """Run ``scenario(machine)`` under one backend; return the full
+    observable state: (reads, writes, per-phase, comparisons, mem peak,
+    read-id set, access trace, output bytes)."""
+    mach_kw.setdefault("memory", 512)
+    mach_kw.setdefault("block", 16)
+    mach = Machine(kernel=kernel_name, **mach_kw)
+    mach.disk.start_trace()
+    out = scenario(mach)
+    c = mach.snapshot()
+    state = (
+        c.reads,
+        c.writes,
+        dict(c.by_phase),
+        mach.comparisons,
+        mach.memory.peak,
+        set(mach.disk.read_block_ids),
+        mach.disk.stop_trace(),
+    )
+    return state, np.asarray(out)
+
+
+def _assert_identical(scenario, **mach_kw):
+    ref_state, ref_out = _run_traced(KERNELS[0], scenario, **mach_kw)
+    for name in KERNELS[1:]:
+        state, out = _run_traced(name, scenario, **mach_kw)
+        assert state[:6] == ref_state[:6], f"counters diverge on {name}"
+        assert state[6] == ref_state[6], f"trace diverges on {name}"
+        assert out.tobytes() == ref_out.tobytes(), f"bytes diverge on {name}"
+
+
+class TestAlgorithmIdentity:
+    N = 3000
+
+    def test_external_sort(self):
+        recs = random_permutation(self.N, seed=1)
+
+        def scenario(mach):
+            from repro.alg.sort import external_sort
+
+            f = load_input(mach, recs)
+            out = external_sort(mach, f)
+            data = out.to_numpy(counted=False)
+            out.free()
+            f.free()
+            return data
+
+        _assert_identical(scenario)
+
+    def test_multipartition(self):
+        recs = zipf_like(self.N, seed=2)
+
+        def scenario(mach):
+            from repro.alg.multipartition import multi_partition_at_ranks
+
+            f = load_input(mach, recs)
+            parts = multi_partition_at_ranks(mach, f, [500, 1500, 2500])
+            data = np.concatenate(
+                [composite(p) for p in parts.to_numpy_partitions()]
+            )
+            parts.free()
+            f.free()
+            return data
+
+        _assert_identical(scenario)
+
+    def test_selection(self):
+        recs = random_permutation(self.N, seed=3)
+
+        def scenario(mach):
+            from repro.alg.selection import select_rank_fast
+
+            f = load_input(mach, recs)
+            x = select_rank_fast(mach, f, self.N // 3)
+            f.free()
+            return np.array([x])
+
+        _assert_identical(scenario)
+
+    def test_multiselect(self):
+        recs = zipf_like(self.N, seed=4)
+        ranks = np.random.default_rng(7).integers(1, self.N + 1, size=24)
+
+        def scenario(mach):
+            from repro.core import multi_select
+
+            f = load_input(mach, recs)
+            out = multi_select(mach, f, ranks)
+            f.free()
+            return out
+
+        _assert_identical(scenario)
+
+    def test_splitters(self):
+        recs = random_permutation(self.N, seed=5)
+
+        def scenario(mach):
+            from repro.core import approximate_splitters
+
+            f = load_input(mach, recs)
+            res = approximate_splitters(
+                mach, f, 16, self.N // 64, self.N // 4
+            )
+            f.free()
+            return res.splitters
+
+        _assert_identical(scenario)
+
+    def test_service_queries_and_updates(self):
+        recs = random_permutation(4000, seed=6)
+        trace = zipfian_trace(64, 4000, seed=8)
+
+        def scenario(mach):
+            from repro.service import PartitionIndex
+
+            f = load_input(mach, recs)
+            index = PartitionIndex.build(mach, f, 16)
+            f.free()
+            got = [index.batch_select(trace)]
+            index.append(np.arange(10**6, 10**6 + 300))
+            for key in np.sort(recs["key"])[:120]:
+                index.delete(int(key))
+            index.flush_updates()
+            got.append(index.batch_select(np.arange(1, index.n_live + 1)))
+            index.close()
+            return np.concatenate([composite(g) for g in got])
+
+        _assert_identical(scenario, memory=2048, block=32)
+
+
+# ----------------------------------------------------------------------
+# Experiment-level identity: all registered experiments, quick mode
+# ----------------------------------------------------------------------
+def _experiment_ids():
+    from repro.experiments import all_experiments
+
+    return [e.exp_id for e in all_experiments()]
+
+
+@pytest.mark.parametrize("exp_id", _experiment_ids())
+def test_experiment_identity_across_kernels(exp_id, monkeypatch):
+    """Every experiment produces the identical result and identical
+    aggregate machine counters under every backend."""
+    from repro.em.machine import observe_machines
+    from repro.experiments import get_experiment
+
+    outcomes = []
+    for name in KERNELS:
+        monkeypatch.setenv(KERNEL_ENV, name)
+        machines = []
+        with observe_machines(machines.append):
+            result = get_experiment(exp_id)(quick=True)
+        outcomes.append(
+            (
+                result.to_dict(),
+                len(machines),
+                sum(m.disk.lifetime.reads for m in machines),
+                sum(m.disk.lifetime.writes for m in machines),
+                sum(m.lifetime_comparisons for m in machines),
+                max((m.memory.peak for m in machines), default=0),
+            )
+        )
+    ref = outcomes[0]
+    for name, other in zip(KERNELS[1:], outcomes[1:]):
+        assert other == ref, f"{exp_id} diverges under kernel {name}"

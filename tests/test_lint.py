@@ -36,8 +36,10 @@ def _rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert [r.rule_id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+    def test_all_six_rules_registered(self):
+        assert [r.rule_id for r in all_rules()] == [
+            "R1", "R2", "R3", "R4", "R5", "R6",
+        ]
 
     def test_get_rules_subset_and_case(self):
         assert [r.rule_id for r in get_rules(["r3", "R1"])] == ["R3", "R1"]
@@ -123,8 +125,9 @@ class TestR3RawComparisons:
         assert finding.rule == "R3" and "np.sort" in finding.message
 
     def test_positive_sort_records_helper(self):
-        (finding,) = _active("def f(r):\n    return sort_records(r)\n")
-        assert finding.rule == "R3"
+        # R6 (kernel bypass) fires on the same call; check R3 is there.
+        findings = _active("def f(r):\n    return sort_records(r)\n")
+        assert sorted(_rule_ids(findings)) == ["R3", "R6"]
 
     def test_positive_raw_compare_on_keys(self):
         src = """
@@ -234,6 +237,48 @@ class TestR5LeaseLifecycle:
         assert not _active(src, "repro/em/tests/test_x.py")
 
 
+class TestR6KernelBypass:
+    def test_positive_concat_records(self):
+        (finding,) = _active(
+            "def f(m, parts):\n    return concat_records(parts)\n",
+            rules=get_rules(["R6"]),
+        )
+        assert finding.rule == "R6" and "machine.kernel.concat" in finding.message
+
+    def test_positive_sort_records(self):
+        (finding,) = _active(
+            "def f(m, r):\n    return sort_records(r)\n", rules=get_rules(["R6"])
+        )
+        assert "sort_by_composite" in finding.message
+
+    def test_positive_record_argpartition(self):
+        (finding,) = _active(
+            "def f(m, r, k):\n"
+            "    return np.argpartition(composite(r), k)\n",
+            rules=get_rules(["R6"]),
+        )
+        assert "rank_order" in finding.message
+
+    def test_negative_plain_argpartition(self):
+        # Index arithmetic is not record movement — no kernel needed.
+        assert not _active(
+            "def f(m, idx, k):\n    return np.argpartition(idx, k)\n",
+            rules=get_rules(["R6"]),
+        )
+
+    def test_negative_kernel_dispatch(self):
+        assert not _active(
+            "def f(m, parts):\n    return m.kernel.concat(parts)\n",
+            rules=get_rules(["R6"]),
+        )
+
+    def test_exempt_outside_algorithm_layer(self):
+        src = "def f(r):\n    return sort_records(r)\n"
+        assert not _active(src, "repro/em/kernels/numpy_v1.py", rules=get_rules(["R6"]))
+        assert not _active(src, "repro/em/records.py", rules=get_rules(["R6"]))
+        assert not _active(src, "tests/test_x.py", rules=get_rules(["R6"]))
+
+
 class TestSuppression:
     def test_same_line_directive_suppresses(self):
         active, suppressed = _lint(
@@ -258,10 +303,10 @@ class TestSuppression:
         active, suppressed = _lint(
             "def f(m):\n"
             "    return sort_records(m.file.to_numpy())"
-            "  # emlint: disable=R2, R3\n"
+            "  # emlint: disable=R2, R3, R6\n"
         )
         assert not active
-        assert sorted(_rule_ids(suppressed)) == ["R2", "R3"]
+        assert sorted(_rule_ids(suppressed)) == ["R2", "R3", "R6"]
 
 
 class TestFindingsAndReports:

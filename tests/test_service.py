@@ -395,3 +395,24 @@ class TestQueryTraces:
         assert len(np.unique(t)) == 64
         gaps = np.diff(np.sort(t))
         assert gaps.max() <= 2 * (10_000 // 64)
+
+    def test_zipfian_extreme_draws_stay_in_range(self):
+        # Regression: heavy-tail zipf draws used to overflow int64 in
+        # `(ids - 1) * _SCATTER`, folding hot ids onto negative ranks.
+        # alpha barely above 1 makes multi-billion draws routine; every
+        # rank must still land in [1, n] and agree with exact (Python
+        # big-int) modular arithmetic.
+        from repro.workloads.queries import _SCATTER, _rng
+
+        n = 10_000
+        q = 4096
+        alpha = 1.01
+        t = zipfian_trace(q, n, seed=123, alpha=alpha)
+        assert t.min() >= 1 and t.max() <= n
+        ids = _rng(123).zipf(alpha, size=q).astype(np.int64)
+        expected = np.array(
+            [(int(i) - 1) * _SCATTER % n + 1 for i in ids], dtype=np.int64
+        )
+        assert np.array_equal(t, expected)
+        # The seed must actually exercise the overflow regime.
+        assert int(ids.max()) * _SCATTER > np.iinfo(np.int64).max
