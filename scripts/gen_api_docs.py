@@ -60,6 +60,8 @@ MODULES = [
     "repro.obs.export",
     "repro.obs.solvers",
     "repro.obs.budget",
+    "repro.obs.metrics",
+    "repro.obs.recorder",
     "repro.lint.findings",
     "repro.lint.engine",
     "repro.lint.rules_access",
@@ -122,8 +124,16 @@ see ``repro <command> --help`` for every flag.
 - `repro serve` / `repro query` / `repro bench-queries` — the online
   partition service (`repro.service`): an interactive query loop over
   stdin, a one-shot coalesced query batch, and the online-vs-offline
-  trace benchmark that records its acceptance check under
+  trace benchmark that records its acceptance check (now with
+  per-query I/O p50/p95/p99 and a `--json` document) under
   `benchmarks/out/SERVICE_QUERIES.txt`.
+- `repro metrics ALGORITHM [--json] [--out DIR] ...` — run one
+  registered solver inside a metrics scope (`repro.obs.metrics`) and a
+  flight-recorder scope (`repro.obs.recorder`), then export the
+  telemetry three ways: Prometheus text, a JSON payload, and the
+  flight-recorder event dump.  `repro serve --durable` dumps the
+  flight recorder on any unclean exit (`--flight-dump FILE`), and
+  `repro recover --flight-dump FILE` renders such a dump.
 """
 
 

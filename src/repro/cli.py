@@ -18,10 +18,16 @@ Subcommands:
 ``repro solve --problem {splitters,partition,multiselect} --n N --k K ...``
     Run one algorithm on a generated workload, verify the output, and
     print measured I/O, comparisons, and the phase breakdown.
-``repro trace ALGORITHM [--out DIR] [--n N] [--k K] ...``
+``repro trace ALGORITHM [--out DIR] [--json] [--n N] [--k K] ...``
     Run one registered solver under the span tracer and export the
     recorded tree three ways: Chrome/Perfetto ``.trace.json``, a
-    rendered text tree, and the plain-dict span JSON.
+    rendered text tree, and the plain-dict span JSON (``--json``
+    prints that payload to stdout for CI artifacts).
+``repro metrics ALGORITHM [--out DIR] [--json] [--n N] ...``
+    Run one registered solver inside a metrics scope + flight recorder
+    and export the service telemetry: a rendered metrics table,
+    Prometheus text exposition (``.prom``), metrics JSON, and the
+    flight-recorder event dump.
 ``repro budgets [--check | --write] [--path FILE] [--headroom H]``
     Check every registered solver against its committed I/O envelope
     (the regression gate), or recalibrate and rewrite the envelopes.
@@ -37,22 +43,27 @@ Subcommands:
     Interactive partition service: build an index over a generated
     workload and answer queries (and, with the eager engine, apply
     appends/deletes) read line-by-line from stdin.  ``--durable`` adds
-    WAL + snapshot persistence and the ``snapshot``/``crash``/``dstats``
-    commands (``crash`` abandons the live index and recovers it from
-    the manifest in-session).
-``repro recover [--fail-at I] [--batches N] [--batch-ops OPS] ...``
+    WAL + snapshot persistence and the ``snapshot``/``crash``/``abort``/
+    ``dstats`` commands (``crash`` abandons the live index and recovers
+    it from the manifest in-session; ``abort`` simulates an unclean
+    exit, which dumps the flight recorder to ``--flight-dump``).
+``repro recover [--fail-at I] [--flight-dump FILE] ...``
     Crash-recovery scenario: build a durable index, apply an
     interleaved update plan, kill the machine at the ``--fail-at``-th
     counted I/O, recover from the manifest, and verify the recovered
-    answers are element-identical to an uncrashed shadow run.
+    answers are element-identical to an uncrashed shadow run.  With
+    ``--flight-dump FILE``, instead render a flight-recorder dump
+    written by an earlier unclean ``repro serve`` exit.
 ``repro query --n N --k K QUERY [QUERY ...]``
     One-shot batch: coalesce the given queries (``select:R``,
     ``quantile:Q``, ``range:LO:HI``, ``part:KEY``) into one frontend
     flush and print the answers with the measured I/O.
-``repro bench-queries [--quick] [--trace T] [--queries Q] ...``
+``repro bench-queries [--quick] [--json] [--trace T] [--queries Q] ...``
     Benchmark the online service on a query trace against the offline
-    per-query and sort-everything baselines; verifies answers, checks
-    the 25 % acceptance bar, and records the run under benchmarks/out/.
+    per-query and sort-everything baselines; reports per-query I/O
+    p50/p95/p99 from the service histograms, verifies answers, checks
+    the 25 % acceptance bar, and records the run under benchmarks/out/
+    (``--json`` prints the machine-readable document to stdout).
 """
 
 from __future__ import annotations
@@ -267,29 +278,84 @@ def _cmd_trace(args) -> int:
     tree = render_span_tree(tracer.traces)
     tree_path = out_dir / f"{args.algorithm}.tree.txt"
     tree_path.write_text(tree + "\n")
+    payload = {
+        "solver": args.algorithm,
+        "title": solver.title,
+        "params": params,
+        "outcome": outcome,
+        "io": machine.io.total,
+        "comparisons": machine.comparisons,
+        "rollup": span_rollup(tracer.traces),
+        "traces": traces_to_dict(tracer.traces),
+    }
     spans_path = out_dir / f"{args.algorithm}.spans.json"
-    spans_path.write_text(
-        json.dumps(
-            {
-                "solver": args.algorithm,
-                "title": solver.title,
-                "params": params,
-                "outcome": outcome,
-                "io": machine.io.total,
-                "comparisons": machine.comparisons,
-                "rollup": span_rollup(tracer.traces),
-                "traces": traces_to_dict(tracer.traces),
-            },
-            indent=1,
-        )
-        + "\n"
-    )
+    spans_path.write_text(json.dumps(payload, indent=1) + "\n")
 
+    if args.json:
+        print(json.dumps(payload, indent=1))
+        return 0
     print(f"{args.algorithm}: {outcome}\n")
     print(tree)
     print(
         f"\nwrote {chrome_path} (load at https://ui.perfetto.dev),\n"
         f"      {tree_path},\n      {spans_path}"
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .experiments.runner import default_out_dir
+    from .obs import (
+        FlightRecorder,
+        MetricsRegistry,
+        build_instance,
+        flight_scope,
+        metrics_scope,
+    )
+
+    import json
+
+    overrides = {
+        key: getattr(args, key)
+        for key in ("n", "k", "a", "part_size", "memory", "block", "seed")
+        if getattr(args, key) is not None
+    }
+    solver, machine, file, params = build_instance(args.algorithm, overrides)
+    registry = MetricsRegistry()
+    recorder = FlightRecorder()
+    try:
+        with metrics_scope(registry), flight_scope(recorder):
+            outcome = solver.run(machine, file, params)
+    finally:
+        file.free()
+
+    out_dir = Path(args.out) if args.out else default_out_dir() / "metrics"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    prom_path = out_dir / f"{args.algorithm}.prom"
+    prom_path.write_text(registry.to_prometheus())
+    payload = {
+        "solver": args.algorithm,
+        "title": solver.title,
+        "params": params,
+        "outcome": outcome,
+        "io": machine.io.total,
+        "comparisons": machine.comparisons,
+        "metrics": registry.to_dict(),
+        "flight": recorder.to_dict(),
+    }
+    json_path = out_dir / f"{args.algorithm}.metrics.json"
+    json_path.write_text(json.dumps(payload, indent=1) + "\n")
+    flight_path = recorder.dump(out_dir / f"{args.algorithm}.flight.json")
+
+    if args.json:
+        print(json.dumps(payload, indent=1))
+        return 0
+    print(f"{args.algorithm}: {outcome}\n")
+    print(registry.render())
+    print()
+    print(recorder.render())
+    print(
+        f"\nwrote {prom_path},\n      {json_path},\n      {flight_path}"
     )
     return 0
 
@@ -542,6 +608,32 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    """Run the interactive service inside a flight-recorder scope.
+
+    On an *unclean* exit of a durable service (an uncaught exception —
+    e.g. the ``abort`` command), the recorder's last events are dumped
+    to ``--flight-dump`` so ``repro recover --flight-dump`` can show
+    what the service was doing when it died.
+    """
+    from .experiments.runner import default_out_dir
+    from .obs import FlightRecorder, flight_scope
+
+    recorder = FlightRecorder()
+    try:
+        with flight_scope(recorder):
+            return _serve_loop(args, recorder)
+    except BaseException:
+        if getattr(args, "durable", False):
+            dump = Path(args.flight_dump) if args.flight_dump else (
+                default_out_dir() / "flight" / "serve.flight.json"
+            )
+            recorder.dump(dump)
+            print(f"unclean exit: flight recorder dumped to {dump}",
+                  file=sys.stderr)
+        raise
+
+
+def _serve_loop(args, recorder) -> int:
     from .service import QueryFrontend
 
     machine, file, engine = _build_service(args)
@@ -549,12 +641,13 @@ def _cmd_serve(args) -> int:
     eager = args.engine == "eager"
     durable = getattr(args, "durable", False)
     mode = "eager+durable" if durable else args.engine
+    recorder.record("serve-start", engine=mode, n=args.n, k=args.k)
     print(f"partition service up: engine={mode} N={args.n} "
           f"K={args.k} (M={machine.M}, B={machine.B})")
     print("commands: select R [R ...] | quantile Q [Q ...] | "
           "range LO HI | part KEY"
           + (" | append K [K ...] | delete K | flush" if eager else "")
-          + (" | snapshot | crash | dstats" if durable else "")
+          + (" | snapshot | crash | abort | dstats" if durable else "")
           + " | stats | quit")
     stream = open(args.input) if args.input else sys.stdin
     status = 0
@@ -564,6 +657,13 @@ def _cmd_serve(args) -> int:
             if not tokens or tokens[0].startswith("#"):
                 continue
             cmd, rest = tokens[0], tokens[1:]
+            if durable and cmd == "abort":
+                # Deliberately *outside* the keep-serving handler: an
+                # abort is an unclean process exit, not a bad query.
+                engine.abandon()
+                raise RuntimeError(
+                    "abort requested — simulating an unclean service exit"
+                )
             try:
                 if cmd == "quit":
                     break
@@ -711,6 +811,12 @@ def _cmd_recover(args) -> int:
     from .workloads import load_input, random_permutation
     from .workloads.queries import update_batches, zipfian_trace
 
+    if args.flight_dump:
+        from .obs import load_flight_dump, render_flight_events
+
+        print(render_flight_events(load_flight_dump(args.flight_dump)))
+        return 0
+
     machine = Machine(memory=args.memory, block=args.block)
     records = random_permutation(args.n, seed=args.seed)
     file = load_input(machine, records)
@@ -780,11 +886,14 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_bench_queries(args) -> int:
+    import json
+
     from .analysis.report import render_kv
     from .core import multi_select
     from .em import Machine
     from .experiments.runner import default_out_dir
     from .em.records import composite
+    from .obs import MetricsRegistry, metrics_scope
     from .service import LazyPartitionIndex, Query, QueryFrontend
     from .workloads import load_input
     from .workloads.generators import random_permutation
@@ -804,15 +913,21 @@ def _cmd_bench_queries(args) -> int:
     file = load_input(machine, records)
     machine.reset_counters()
     t0 = time.time()
-    with LazyPartitionIndex(machine, file, k=k) as engine:
-        frontend = QueryFrontend(machine, engine)
-        answers = frontend.run(
-            [Query.select(int(r)) for r in trace], batch=args.batch
-        )
-        online_io = machine.io.total
-        stats = dict(engine.stats)
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        with LazyPartitionIndex(machine, file, k=k) as engine:
+            frontend = QueryFrontend(machine, engine)
+            answers = frontend.run(
+                [Query.select(int(r)) for r in trace], batch=args.batch
+            )
+            online_io = machine.io.total
+            stats = dict(engine.stats)
     wall = time.time() - t0
     file.free()
+    hist = registry.histogram("svc_query_io", labels=("engine",)).labels(
+        engine="lazy"
+    )
+    p50, p95, p99 = (hist.quantile(f) for f in (0.50, 0.95, 0.99))
 
     # Differential identity plus the offline per-query estimate (the
     # single-rank multi-selection cost is rank-independent to ~0.1%).
@@ -844,6 +959,9 @@ def _cmd_bench_queries(args) -> int:
                         f"(flush batch {args.batch})"),
             ("online total I/O", f"{online_io:,}"),
             ("amortized I/O per query", f"{online_io / q:.1f}"),
+            ("per-query I/O p50 / p95 / p99",
+             f"{p50:.1f} / {p95:.1f} / {p99:.1f} "
+             f"(over {hist.count} queries)"),
             ("refinements / leaf loads / cache hits",
              f"{stats['refinements']} / {stats['leaf_loads']} / "
              f"{stats['cache_hits']}"),
@@ -857,13 +975,45 @@ def _cmd_bench_queries(args) -> int:
         ]),
     ]
     text = "\n".join(lines)
-    print(text)
     out = Path(args.out) if args.out else (
         default_out_dir() / "SERVICE_QUERIES.txt"
     )
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(text + "\n")
-    print(f"\nwrote {out}")
+    if args.json:
+        doc = {
+            "config": {
+                "trace": args.trace,
+                "n": n,
+                "k": k,
+                "queries": q,
+                "batch": args.batch,
+                "seed": args.seed,
+                "memory": args.memory,
+                "block": args.block,
+            },
+            "distinct_ranks": int(len(unique)),
+            "online_io": int(online_io),
+            "amortized_io": online_io / q,
+            "per_query_io": {
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+                "count": hist.count,
+            },
+            "engine_stats": stats,
+            "offline_estimate": offline_est,
+            "ratio": fraction,
+            "answers_identical": identical,
+            "passed": passed,
+            "wall_s": round(wall, 3),
+            "metrics": registry.to_dict(),
+        }
+        print(json.dumps(doc, indent=1))
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+        print(f"\nwrote {out}")
     return 0 if passed else 1
 
 
@@ -1029,6 +1179,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, metavar="DIR",
         help="artifact directory (default benchmarks/out/traces)",
     )
+    trace_p.add_argument(
+        "--json", action="store_true",
+        help="print the span payload as JSON to stdout (artifacts are "
+        "still written)",
+    )
     trace_p.add_argument("--n", type=int, default=None)
     trace_p.add_argument("--k", type=int, default=None)
     trace_p.add_argument("--a", type=int, default=None)
@@ -1036,6 +1191,34 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument("--memory", type=int, default=None, help="M (records)")
     trace_p.add_argument("--block", type=int, default=None, help="B (records)")
     trace_p.add_argument("--seed", type=int, default=None)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run one solver in a metrics scope and export the telemetry",
+    )
+    metrics_p.add_argument(
+        "algorithm", choices=sorted(SOLVERS),
+        help="registered solver to instrument",
+    )
+    metrics_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default benchmarks/out/metrics)",
+    )
+    metrics_p.add_argument(
+        "--json", action="store_true",
+        help="print the metrics payload as JSON to stdout (artifacts are "
+        "still written)",
+    )
+    metrics_p.add_argument("--n", type=int, default=None)
+    metrics_p.add_argument("--k", type=int, default=None)
+    metrics_p.add_argument("--a", type=int, default=None)
+    metrics_p.add_argument("--part-size", dest="part_size", type=int,
+                           default=None)
+    metrics_p.add_argument("--memory", type=int, default=None,
+                           help="M (records)")
+    metrics_p.add_argument("--block", type=int, default=None,
+                           help="B (records)")
+    metrics_p.add_argument("--seed", type=int, default=None)
 
     budgets_p = sub.add_parser(
         "budgets", help="check or recalibrate the I/O-budget envelopes"
@@ -1121,6 +1304,11 @@ def main(argv: list[str] | None = None) -> int:
         "--input", default=None, metavar="FILE",
         help="read commands from FILE instead of stdin",
     )
+    serve_p.add_argument(
+        "--flight-dump", default=None, dest="flight_dump", metavar="FILE",
+        help="flight-recorder dump path on unclean --durable exit "
+        "(default benchmarks/out/flight/serve.flight.json)",
+    )
 
     recover_p = sub.add_parser(
         "recover",
@@ -1148,6 +1336,11 @@ def main(argv: list[str] | None = None) -> int:
     recover_p.add_argument("--memory", type=int, default=4096,
                            help="M (records)")
     recover_p.add_argument("--block", type=int, default=64, help="B (records)")
+    recover_p.add_argument(
+        "--flight-dump", default=None, dest="flight_dump", metavar="FILE",
+        help="render this flight-recorder dump (from an unclean "
+        "`repro serve --durable` exit) instead of running the scenario",
+    )
 
     query_p = sub.add_parser(
         "query", help="answer one batch of queries against a fresh index"
@@ -1183,6 +1376,11 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "--out", default=None, metavar="FILE",
         help="record file (default benchmarks/out/SERVICE_QUERIES.txt)",
+    )
+    bench_p.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable result document to stdout "
+        "(the text record file is still written)",
     )
 
     kern_p = sub.add_parser(
@@ -1225,6 +1423,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "budgets":
         return _cmd_budgets(args)
     if args.command == "lint":

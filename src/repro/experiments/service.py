@@ -35,6 +35,7 @@ import numpy as np
 from ..alg.sort import external_sort
 from ..core import multi_select
 from ..em.records import composite
+from ..obs.metrics import MetricsRegistry, metrics_scope
 from ..service import LazyPartitionIndex, Query, QueryFrontend
 from ..workloads.generators import load_input, random_permutation
 from ..workloads.queries import QUERY_TRACES
@@ -114,7 +115,8 @@ def svc(quick: bool = False) -> ExperimentResult:
 
     headers = [
         "trace", "N", "K", "Q", "distinct", "online io", "io/query",
-        "offline est", "sorted est", "online/offline", "refine", "cached",
+        "io p50", "io p99", "offline est", "sorted est", "online/offline",
+        "refine", "cached",
     ]
     rows = []
     identity_ok = True
@@ -126,14 +128,21 @@ def svc(quick: bool = False) -> ExperimentResult:
 
         mach = wide_machine()
         f = load_input(mach, records_of[n])
-        engine = LazyPartitionIndex(mach, f, k=k)
-        frontend = QueryFrontend(mach, engine)
-        answers, online_io = measure_io(
-            mach,
-            lambda: frontend.run(
-                [Query.select(int(r)) for r in trace], batch=_BATCH
-            ),
-        )
+        # Per-config registry: the engine/frontend pick it up ambiently
+        # at construction and fill the per-query I/O histogram.
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            engine = LazyPartitionIndex(mach, f, k=k)
+            frontend = QueryFrontend(mach, engine)
+            answers, online_io = measure_io(
+                mach,
+                lambda: frontend.run(
+                    [Query.select(int(r)) for r in trace], batch=_BATCH
+                ),
+            )
+        hist = registry.histogram(
+            "svc_query_io", labels=("engine",)
+        ).labels(engine="lazy")
         stats = dict(engine.stats)
         flushes = list(frontend.flushes)
         engine.close()
@@ -159,6 +168,8 @@ def svc(quick: bool = False) -> ExperimentResult:
         amortized = online_io / q
         rows.append((
             label, n, k, q, len(unique), online_io, round(amortized, 1),
+            round(float(hist.quantile(0.5)), 1),
+            round(float(hist.quantile(0.99)), 1),
             int(offline_est), sorted_est, round(frac, 4),
             stats["refinements"], stats["cache_hits"],
         ))

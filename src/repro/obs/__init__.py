@@ -1,12 +1,16 @@
-"""Observability for the EM simulator: span tracing, trace export, and
-the I/O-budget regression gate.
+"""Observability for the EM simulator: span tracing, trace export,
+service telemetry, and the I/O-budget regression gate.
 
 The paper's claims are Θ-shapes in block I/Os; this subpackage provides
 the attribution layer — a hierarchical :class:`Tracer` recording
 per-phase span trees (reads, writes, comparisons, memory/disk peaks,
 wall time), exporters (Perfetto/Chrome trace JSON, text tree,
-plain dicts), and a constant-factor budget gate that fails CI when an
-algorithm's measured I/O count drifts above its committed envelope.
+plain dicts), a deterministic metrics registry
+(:class:`MetricsRegistry`: counters, gauges, per-query I/O histograms
+with fixed log-spaced buckets) plus a bounded :class:`FlightRecorder`
+of structured service events that survives to a dump on crash, and a
+constant-factor budget gate that fails CI when an algorithm's measured
+I/O count drifts above its committed envelope.
 """
 
 from .budget import (
@@ -23,6 +27,27 @@ from .export import (
     traces_to_dict,
     write_chrome_trace,
 )
+from .metrics import (
+    DEFAULT_IO_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    current_registry,
+    metrics_scope,
+)
+from .recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    current_recorder,
+    flight_scope,
+    load_flight_dump,
+    render_flight_events,
+)
 from .solvers import SOLVERS, Solver, build_instance, run_solver
 from .tracer import MachineTrace, Span, Tracer
 
@@ -30,6 +55,23 @@ __all__ = [
     "Tracer",
     "MachineTrace",
     "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_IO_BUCKETS",
+    "current_registry",
+    "metrics_scope",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "flight_scope",
+    "load_flight_dump",
+    "render_flight_events",
     "chrome_trace",
     "write_chrome_trace",
     "render_span_tree",

@@ -179,12 +179,14 @@ def render_span_tree(
     """
     if isinstance(traces, MachineTrace):
         traces = [traces]
+    if not traces:
+        return "(no spans recorded)"
     chunks: list[str] = []
     for trace in traces:
         grand = trace.root.cum_io
         rows: list[tuple] = []
         _tree_rows([trace.root], grand, 0, merge, rows)
-        width = max(len(r[0]) for r in rows)
+        width = max((len(r[0]) for r in rows), default=4)
         lines = [
             f"machine-{trace.index} (M={trace.M}, B={trace.B}): "
             f"{grand:,} I/Os, {trace.root.cum_comparisons:,} comparisons",

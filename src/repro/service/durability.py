@@ -58,6 +58,8 @@ import numpy as np
 from ..em.errors import SpecError
 from ..em.file import EMFile
 from ..em.records import RECORD_DTYPE, make_records
+from ..obs.metrics import current_registry
+from ..obs.recorder import current_recorder
 from .index import PartitionIndex, _Partition
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -157,6 +159,25 @@ class DurableStore:
         self._retired: list[int] = []
         self.commits_since_snapshot = 0
         self.stats = {"wal_writes": 0, "groups_logged": 0, "snapshots": 0}
+        # Telemetry: ambient registry/recorder, bound at construction.
+        metrics = current_registry()
+        self._recorder = current_recorder()
+        self._m_wal_writes = metrics.counter(
+            "svc_wal_writes", "WAL block writes (tail rewrites included)"
+        )
+        self._m_groups = metrics.counter(
+            "svc_wal_groups", "flush groups committed to the WAL"
+        )
+        self._m_snapshots = metrics.counter(
+            "svc_snapshots", "metadata snapshots committed"
+        )
+        self._m_wal_blocks = metrics.gauge(
+            "svc_wal_blocks_used", "WAL blocks holding live entries"
+        )
+        self._m_epoch = metrics.gauge(
+            "svc_snapshot_epoch", "current durability epoch"
+        )
+        self._m_epoch.set(self.epoch)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -244,6 +265,13 @@ class DurableStore:
         self.seq = int(seq)
         self.commits_since_snapshot += 1
         self.stats["groups_logged"] += 1
+        self._m_groups.inc()
+        self._m_wal_blocks.set(
+            self._blocks_full + (1 if self._tail_entries else 0)
+        )
+        self._recorder.record(
+            "wal-group", wal_seq=self.seq, entries=len(triples)
+        )
         return True
 
     def _write_tail(self) -> None:
@@ -259,6 +287,7 @@ class DurableStore:
             out["grp"][i + 1] = b
         self.machine.disk.write(self.wal_start + self._blocks_full, out)
         self.stats["wal_writes"] += 1
+        self._m_wal_writes.inc()
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -303,6 +332,12 @@ class DurableStore:
         self._tail_entries = []
         self.commits_since_snapshot = 0
         self.stats["snapshots"] += 1
+        self._m_snapshots.inc()
+        self._m_epoch.set(self.epoch)
+        self._m_wal_blocks.set(0)
+        self._recorder.record(
+            "snapshot", epoch=self.epoch, wal_seq=self.seq
+        )
 
     def _write_manifest(self) -> None:
         words = np.array(
@@ -562,6 +597,9 @@ class DurablePartitionIndex(PartitionIndex):
     def abandon(self) -> None:
         """Simulate a crash: drop all memory, keep all disk blocks."""
         if not self._closed:
+            self._store._recorder.record(
+                "abandon", wal_seq=self._store.seq, epoch=self._store.epoch
+            )
             self._store.release()
         super().abandon()
 
@@ -643,6 +681,20 @@ def recover(machine: "Machine", manifest_bid: int) -> DurablePartitionIndex:
         except BaseException:
             index.abandon()
             raise
+    metrics = current_registry()
+    metrics.counter(
+        "svc_recovery_groups", "WAL groups replayed during recovery"
+    ).inc(len(groups))
+    metrics.counter(
+        "svc_recovery_ops", "WAL entries replayed during recovery"
+    ).inc(sum(len(entries) for _, entries in groups))
+    current_recorder().record(
+        "recover",
+        groups=len(groups),
+        ops=sum(len(entries) for _, entries in groups),
+        n_live=index._n_live,
+        wal_seq=store.seq,
+    )
     return index
 
 

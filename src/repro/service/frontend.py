@@ -33,6 +33,8 @@ import numpy as np
 
 from ..em.errors import SpecError
 from ..apps.order_stats import rank_of_fraction
+from ..obs.metrics import current_registry
+from ..obs.recorder import current_recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..em.machine import Machine
@@ -118,6 +120,34 @@ class QueryFrontend:
         self.total_queries = 0
         self.total_io = 0
         self.total_comparisons = 0
+        # Telemetry: share the engine's registry when it has one so the
+        # whole service stack exports together; ambient fallback covers
+        # engines built outside a metrics scope.
+        metrics = getattr(engine, "_metrics", None) or current_registry()
+        self._recorder = current_recorder()
+        self._m_queries = metrics.counter(
+            "svc_queries", "queries answered by kind", labels=("kind",)
+        )
+        self._m_flush_io = metrics.histogram(
+            "svc_flush_io",
+            "simulated I/O per flush by kind",
+            labels=("kind",),
+        ).labels(kind="query")
+        self._m_amortized = metrics.histogram(
+            "svc_query_amortized_io",
+            "per-query amortized simulated I/O (per flush)",
+        )
+        self._m_select_ranks = metrics.counter(
+            "svc_select_ranks", "select/quantile ranks submitted"
+        )
+        self._m_distinct = metrics.counter(
+            "svc_distinct_ranks", "distinct ranks after flush deduplication"
+        )
+        self._m_coalesce = metrics.gauge(
+            "svc_coalescing_ratio",
+            "distinct/submitted rank ratio of the last flush (lower = "
+            "more coalescing)",
+        )
 
     # ------------------------------------------------------------------
     def submit(self, query) -> int:
@@ -193,6 +223,17 @@ class QueryFrontend:
         self.total_queries += stats.queries
         self.total_io += stats.io
         self.total_comparisons += stats.comparisons
+        for query in queue:
+            self._m_queries.labels(kind=query.kind).inc()
+        self._m_flush_io.observe(stats.io)
+        self._m_amortized.observe(stats.amortized_io, count=stats.queries)
+        self._m_select_ranks.inc(stats.select_ranks)
+        self._m_distinct.inc(stats.distinct_ranks)
+        if stats.select_ranks:
+            self._m_coalesce.set(stats.distinct_ranks / stats.select_ranks)
+        self._recorder.record(
+            "query-flush", queries=stats.queries, io=stats.io
+        )
         self._maybe_checkpoint()
         return answers
 

@@ -48,6 +48,7 @@ from ..alg.multipartition import multi_partition
 from ..core.partitioning import approximate_partition
 from ..core.spec import validate_params
 from ..apps.order_stats import rank_of_fraction
+from ..obs.metrics import current_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..em.machine import Machine
@@ -124,6 +125,23 @@ class PartitionIndex:
             "compactions": 0,
             "update_flushes": 0,
         }
+        # Telemetry: bound to the ambient registry at construction.
+        # Bookkeeping reads only lifetime counters / plain ints — no
+        # model charge flows through any instrument.
+        metrics = self._metrics = current_registry()
+        self._m_query_io = metrics.histogram(
+            "svc_query_io",
+            "per-query attributed simulated I/O (block transfers)",
+            labels=("engine",),
+        ).labels(engine="eager")
+        self._m_drift = metrics.gauge(
+            "svc_drift", "updates applied since the last (re)build"
+        )
+        self._m_maint = metrics.counter(
+            "svc_maintenance",
+            "partition maintenance operations by kind",
+            labels=("op",),
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -162,6 +180,7 @@ class PartitionIndex:
         self.b = max(self.a + 1, int(math.ceil(per * (1 + self.slack))))
         self._n0 = n
         self._drift = 0
+        self._m_drift.set(0)
         if n == 0:
             self._parts = [_Partition([], 0)]
             self._splitters = np.empty(0, dtype=np.int64)
@@ -252,6 +271,7 @@ class PartitionIndex:
         if ranks.min() < 1 or ranks.max() > n:
             raise SpecError(f"ranks must lie in [1, {n}]")
         unique, inverse = np.unique(ranks, return_inverse=True)
+        dup = np.bincount(inverse, minlength=len(unique))
         live = np.array([p.live for p in self._parts], dtype=np.int64)
         ends = np.cumsum(live)
         j_of = np.searchsorted(ends, unique, side="left")
@@ -262,7 +282,14 @@ class PartitionIndex:
                 mask = j_of == j
                 below = int(ends[j - 1]) if j > 0 else 0
                 local = unique[mask] - below
+                io_base = self._life_io()
                 out[mask] = self._select_in_partition(int(j), local)
+                # Attribute the partition load evenly over the queries
+                # it answered (duplicates included); observations sum
+                # back to the exact lifetime delta.
+                served = int(dup[mask].sum())
+                spent = self._life_io() - io_base
+                self._m_query_io.observe(spent / served, count=served)
         return out[inverse]
 
     def range_count(self, lo_key: int, hi_key: int) -> int:
@@ -471,6 +498,7 @@ class PartitionIndex:
         part.stored = len(out)
         part.tombstones = set()
         self.stats["compactions"] += 1
+        self._m_maint.labels(op="compaction").inc()
         self._sync_resident()
 
     def _rebalance(self, touched) -> None:
@@ -513,6 +541,7 @@ class PartitionIndex:
         for seg in old_segments:
             self._discard_segment(seg)
         self.stats["splits"] += 1
+        self._m_maint.labels(op="split").inc()
         self._sync_resident()
 
     def _split_in_memory(self, part: _Partition, sizes: list[int]):
@@ -580,6 +609,7 @@ class PartitionIndex:
             parts[lo : hi + 1] = [merged]
             self._splitters = np.delete(self._splitters, lo)
             self.stats["merges"] += 1
+            self._m_maint.labels(op="merge").inc()
             j = lo
             if merged.live > self.b:
                 self._split(lo)
@@ -603,10 +633,21 @@ class PartitionIndex:
                     self._discard_segment(seg)
             self._install(stage, self._k0, free_input=True)
         self.stats["rebuilds"] += 1
+        self._m_maint.labels(op="rebuild").inc()
 
     # ------------------------------------------------------------------
     # Accounting / lifecycle
     # ------------------------------------------------------------------
+    def _life_io(self) -> int:
+        """Lifetime I/O total — the metrics attribution baseline.
+
+        Lifetime counters are public and survive ``reset_counters``, so
+        reading them here charges nothing to the model (same contract
+        the tracer's conservation check relies on).
+        """
+        life = self._machine.disk.lifetime
+        return life.reads + life.writes
+
     def _resident_total(self) -> int:
         """Records of control state held resident (lease size)."""
         total = len(self._splitters) + len(self._parts)

@@ -38,6 +38,7 @@ from ..alg.inmemory import select_at_ranks
 from ..alg.sampling import approx_quantile_pivots, max_distribution_fanout
 from ..alg.distribute import distribute_by_pivots
 from ..apps.order_stats import rank_of_fraction
+from ..obs.metrics import current_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..em.machine import Machine
@@ -106,6 +107,32 @@ class LazyPartitionIndex:
         self._resident_records = 0
         self._closed = False
         self.stats = {"refinements": 0, "leaf_loads": 0, "cache_hits": 0}
+        # Telemetry: bound to the ambient registry at construction; all
+        # bookkeeping is plain Python over lifetime counters the model
+        # already maintains, so no EM charge ever flows through here.
+        metrics = self._metrics = current_registry()
+        self._m_query_io = metrics.histogram(
+            "svc_query_io",
+            "per-query attributed simulated I/O (block transfers)",
+            labels=("engine",),
+        ).labels(engine="lazy")
+        self._m_depth = metrics.histogram(
+            "svc_descend_depth",
+            "pivot-tree descent depth per uncached query group",
+        )
+        lookups = metrics.counter(
+            "svc_cache_lookups",
+            "answer-cache lookups by result",
+            labels=("result",),
+        )
+        self._m_cache_hit = lookups.labels(result="hit")
+        self._m_cache_miss = lookups.labels(result="miss")
+        self._m_refinements = metrics.counter(
+            "svc_refinements", "lazy pivot-tree node refinements"
+        )
+        self._m_leaf_loads = metrics.counter(
+            "svc_leaf_loads", "leaf loads answering uncached queries"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -140,14 +167,18 @@ class LazyPartitionIndex:
         if ranks.min() < 1 or ranks.max() > n:
             raise SpecError(f"ranks must lie in [1, {n}]")
         unique, inverse = np.unique(ranks, return_inverse=True)
+        dup = np.bincount(inverse, minlength=len(unique))
         out = empty_records(len(unique))
         pending: list[tuple[int, int]] = []
         for pos, rank in enumerate(unique):
             if self._cache is not None and int(rank) in self._cache:
                 out[pos] = self._cache[int(rank)]
                 self.stats["cache_hits"] += 1
+                self._m_cache_hit.inc(int(dup[pos]))
+                self._m_query_io.observe(0, count=int(dup[pos]))
             else:
                 pending.append((int(rank), pos))
+                self._m_cache_miss.inc(int(dup[pos]))
         # Unique ranks are sorted, so the ranks sharing a leaf are
         # consecutive: descend to the first uncovered rank's leaf (the
         # descent refines lazily against the *current* memory headroom),
@@ -155,6 +186,7 @@ class LazyPartitionIndex:
         i = 0
         while i < len(pending):
             rank, pos = pending[i]
+            io_base = self._life_io()
             leaf, local = self._descend(rank)
             below = rank - local  # leaf covers global ranks (below, below+size]
             locals_ = [local]
@@ -173,6 +205,12 @@ class LazyPartitionIndex:
                 ):
                     self._cache[int(unique[p])] = rec.copy()
             self._sync_resident()
+            # Attribute this group's I/O evenly across the queries it
+            # served (duplicates included): observations sum back to the
+            # exact lifetime delta, so the histogram conserves totals.
+            served = int(sum(dup[p] for p in positions))
+            spent = self._life_io() - io_base
+            self._m_query_io.observe(spent / served, count=served)
             i = j
         return out[inverse]
 
@@ -215,17 +253,20 @@ class LazyPartitionIndex:
         m = self._machine
         node = self._root
         local = rank
+        depth = 0
         while True:
             if node.children is None:
                 if node.size > self._leaf_limit():
                     self._refine(node)
                     continue
+                self._m_depth.observe(depth)
                 return node, local
             i = int(np.searchsorted(node.cum, local, side="left"))
             cmp_search(m, 1, max(1, len(node.cum)))
             if i > 0:
                 local -= int(node.cum[i - 1])
             node = node.children[i]
+            depth += 1
 
     def _leaf_limit(self) -> int:
         """A leaf must satisfy the target *and* fit in memory right now.
@@ -298,6 +339,7 @@ class LazyPartitionIndex:
         # is three int64s, so charge (2f-1)/3 records, rounded up.
         self._resident_records += -(-(2 * len(node.children) - 1) // 3)
         self.stats["refinements"] += 1
+        self._m_refinements.inc()
         self._sync_resident()
 
     def _leaf_select(self, leaf: _LazyNode, local_ranks: np.ndarray) -> np.ndarray:
@@ -309,6 +351,7 @@ class LazyPartitionIndex:
             with m.memory.lease(footprint, "svc-leaf-load"):
                 recs = leaf.file.read_range(0, leaf.file.num_blocks)
                 self.stats["leaf_loads"] += 1
+                self._m_leaf_loads.inc()
                 return select_at_ranks(m, recs, local_ranks)
 
     def _count(self, node, lo_c, hi_c, node_lo, node_hi) -> int:
@@ -353,6 +396,16 @@ class LazyPartitionIndex:
     # ------------------------------------------------------------------
     # Accounting / lifecycle
     # ------------------------------------------------------------------
+    def _life_io(self) -> int:
+        """Lifetime I/O total — the metrics attribution baseline.
+
+        Lifetime counters are public and survive ``reset_counters``, so
+        reading them here charges nothing to the model (same contract
+        the tracer's conservation check relies on).
+        """
+        life = self._machine.disk.lifetime
+        return life.reads + life.writes
+
     def _sync_resident(self) -> None:
         total = self._resident_records
         if self._cache is not None:

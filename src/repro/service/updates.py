@@ -48,6 +48,8 @@ from ..em.records import (
     make_records,
 )
 from ..em.streams import BlockReader, BlockWriter
+from ..obs.metrics import current_registry
+from ..obs.recorder import current_recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from .index import PartitionIndex
@@ -77,6 +79,23 @@ class DeltaBuffer:
         self._ops: list[tuple] = []
         self._n_appends = 0
         self._n_deletes = 0
+        # Telemetry: share the index's registry so engine and write path
+        # land in one export; ambient fallback covers stand-alone use.
+        metrics = getattr(index, "_metrics", None) or current_registry()
+        self._recorder = current_recorder()
+        self._m_pending = metrics.gauge(
+            "svc_pending_deltas", "buffered update operations awaiting flush"
+        )
+        self._m_flush_io = metrics.histogram(
+            "svc_flush_io",
+            "simulated I/O per flush by kind",
+            labels=("kind",),
+        ).labels(kind="update")
+        updates = metrics.counter(
+            "svc_updates", "applied update operations by kind", labels=("op",)
+        )
+        self._m_app = updates.labels(op="append")
+        self._m_del = updates.labels(op="delete")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -109,6 +128,7 @@ class DeltaBuffer:
         self._ops.append(("append", recs))
         self._n_appends += len(recs)
         self._index._sync_resident()
+        self._m_pending.set(len(self))
         if len(self) >= self.capacity:
             self.flush()
 
@@ -121,6 +141,7 @@ class DeltaBuffer:
         self._ops.append(("delete", int(key)))
         self._n_deletes += 1
         self._index._sync_resident()
+        self._m_pending.set(len(self))
         if len(self) >= self.capacity:
             self.flush()
 
@@ -147,70 +168,91 @@ class DeltaBuffer:
         leftover: list[np.ndarray] = []
         crashed = False
         handled = False
+        completed = False
+        rebuilt = False
         n_app = n_del = 0
         pos = 0
+        io_base = idx._life_io()
         try:
-            with m.phase("svc-update"):
-                try:
-                    while pos < len(ops):
-                        if ops[pos][0] == "append":
-                            run = [ops[pos][1]]
-                            pos += 1
-                            while (
-                                pos < len(ops) and ops[pos][0] == "append"
-                            ):
-                                run.append(ops[pos][1])
+            try:
+                with m.phase("svc-update"):
+                    try:
+                        while pos < len(ops):
+                            if ops[pos][0] == "append":
+                                run = [ops[pos][1]]
                                 pos += 1
-                            batch = (
-                                run[0]
-                                if len(run) == 1
-                                else m.kernel.concat(run)
-                            )
-                            self._apply_appends(
-                                batch, touched, applied, leftover
-                            )
-                        else:
-                            key = ops[pos][1]
-                            pos += 1
-                            try:
-                                j, uid = self._apply_delete(key)
-                            except SpecError:
-                                handled = True
-                                self._ops = ops[pos:] + self._ops
-                                raise
-                            touched.add(j)
-                            applied.append(("delete", (key, uid)))
-                except BaseException:
-                    if not handled:
-                        crashed = True
-                        keep = [("append", a) for a in leftover if len(a)]
-                        self._ops = keep + ops[pos:] + self._ops
-                    raise
-                finally:
-                    n_app = sum(
-                        len(e[1]) for e in applied if e[0] == "append"
-                    )
-                    n_del = sum(1 for e in applied if e[0] == "delete")
-                    idx._drift += n_app + n_del
-                    idx._rebalance(touched)
-                    if not crashed and applied:
-                        idx._log_applied(applied)
-        finally:
-            self._recount()
+                                while (
+                                    pos < len(ops) and ops[pos][0] == "append"
+                                ):
+                                    run.append(ops[pos][1])
+                                    pos += 1
+                                batch = (
+                                    run[0]
+                                    if len(run) == 1
+                                    else m.kernel.concat(run)
+                                )
+                                self._apply_appends(
+                                    batch, touched, applied, leftover
+                                )
+                            else:
+                                key = ops[pos][1]
+                                pos += 1
+                                try:
+                                    j, uid = self._apply_delete(key)
+                                except SpecError:
+                                    handled = True
+                                    self._ops = ops[pos:] + self._ops
+                                    raise
+                                touched.add(j)
+                                applied.append(("delete", (key, uid)))
+                    except BaseException:
+                        if not handled:
+                            crashed = True
+                            keep = [("append", a) for a in leftover if len(a)]
+                            self._ops = keep + ops[pos:] + self._ops
+                        raise
+                    finally:
+                        n_app = sum(
+                            len(e[1]) for e in applied if e[0] == "append"
+                        )
+                        n_del = sum(1 for e in applied if e[0] == "delete")
+                        idx._drift += n_app + n_del
+                        idx._rebalance(touched)
+                        if not crashed and applied:
+                            idx._log_applied(applied)
+            finally:
+                self._recount()
+                idx._sync_resident()
+            idx.stats["update_flushes"] += 1
+            if idx._drift > idx.rebuild_threshold * max(1, idx._n0):
+                idx._rebuild()
+                rebuilt = True
+            idx._maybe_checkpoint()
             idx._sync_resident()
-        idx.stats["update_flushes"] += 1
-        rebuilt = False
-        if idx._drift > idx.rebuild_threshold * max(1, idx._n0):
-            idx._rebuild()
-            rebuilt = True
-        idx._maybe_checkpoint()
-        idx._sync_resident()
-        return {
-            "appended": n_app,
-            "deleted": n_del,
-            "touched_partitions": len(touched),
-            "rebuilt": rebuilt,
-        }
+            completed = True
+            return {
+                "appended": n_app,
+                "deleted": n_del,
+                "touched_partitions": len(touched),
+                "rebuilt": rebuilt,
+            }
+        finally:
+            # Telemetry only — plain bookkeeping that cannot raise or
+            # mask the in-flight exception; runs on crashed flushes too
+            # so the flight recorder keeps the last pre-crash event.
+            self._m_pending.set(len(self))
+            self._m_app.inc(n_app)
+            self._m_del.inc(n_del)
+            idx._m_drift.set(idx._drift)
+            self._m_flush_io.observe(idx._life_io() - io_base)
+            self._recorder.record(
+                "update-flush",
+                appended=n_app,
+                deleted=n_del,
+                touched=len(touched),
+                rebuilt=rebuilt,
+                completed=completed,
+            )
 
     # ------------------------------------------------------------------
     def replay_group(self, entries: list[tuple]) -> None:

@@ -211,6 +211,88 @@ class TestTrace:
         with pytest.raises(SystemExit):
             main(["trace", "bogosort"])
 
+    def test_trace_json_mirrors_spans_artifact(self, capsys, tmp_path):
+        rc = main(["trace", "sort", "--n", "4000", "--json",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        spans = json.loads((tmp_path / "sort.spans.json").read_text())
+        assert payload == spans
+        assert payload["solver"] == "sort" and payload["io"] > 0
+
+
+class TestMetricsVerb:
+    def test_metrics_writes_artifacts_and_renders(self, capsys, tmp_path):
+        rc = main(["metrics", "service-online", "--n", "20000", "--k", "16",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "svc_query_io{engine=lazy}" in out
+        assert "flight recorder:" in out
+
+        prom = (tmp_path / "service-online.prom").read_text()
+        assert "# TYPE svc_query_io histogram" in prom
+        assert 'svc_query_io_bucket{engine="lazy",le="+Inf"}' in prom
+
+        doc = json.loads(
+            (tmp_path / "service-online.metrics.json").read_text()
+        )
+        assert doc["solver"] == "service-online"
+        assert "svc_queries" in doc["metrics"]
+        assert doc["flight"]["events"]
+
+        flight = json.loads(
+            (tmp_path / "service-online.flight.json").read_text()
+        )
+        assert flight["events"] == doc["flight"]["events"]
+
+    def test_metrics_json_mode(self, capsys, tmp_path):
+        rc = main(["metrics", "service-index", "--n", "8000", "--k", "8",
+                   "--json", "--out", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]
+        assert payload["io"] > 0
+
+    def test_metrics_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "bogosort"])
+
+
+class TestFlightRecorderCli:
+    def test_serve_abort_dumps_flight_and_recover_renders(
+        self, capsys, tmp_path
+    ):
+        script = tmp_path / "session.txt"
+        script.write_text("append 10 20 30\nflush\nabort\n")
+        dump = tmp_path / "dump.json"
+        with pytest.raises(RuntimeError, match="abort requested"):
+            main(["serve", "--durable", "--n", "2000", "--k", "4",
+                  "--input", str(script), "--flight-dump", str(dump)])
+        err = capsys.readouterr().err
+        assert f"flight recorder dumped to {dump}" in err
+        assert dump.exists()
+
+        rc = main(["recover", "--flight-dump", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flight recorder:" in out
+        assert "update-flush" in out and "abandon" in out
+        # The dump is deterministic: seq numbers are monotone from 0.
+        doc = json.loads(dump.read_text())
+        assert [e["seq"] for e in doc["events"]] == list(
+            range(len(doc["events"]))
+        )
+
+    def test_serve_clean_exit_writes_no_dump(self, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("select 5\nquit\n")
+        dump = tmp_path / "dump.json"
+        rc = main(["serve", "--durable", "--n", "2000", "--k", "4",
+                   "--input", str(script), "--flight-dump", str(dump)])
+        assert rc == 0
+        assert not dump.exists()
+
 
 class TestBudgetsCli:
     def test_budgets_check_against_committed_file(self, capsys):
@@ -282,8 +364,28 @@ class TestServiceVerbs:
         out = capsys.readouterr().out
         assert "answers identical to offline          : yes" in out
         assert "PASS" in out
+        assert "per-query I/O p50 / p95 / p99" in out
         assert out_file.exists()
         assert "online / offline" in out_file.read_text()
+
+    def test_bench_queries_json_reproducible(self, capsys, tmp_path):
+        argv = ["bench-queries", "--quick", "--n", "20000", "--k", "16",
+                "--queries", "48", "--json",
+                "--out", str(tmp_path / "bench.txt")]
+        docs = []
+        for _ in range(2):
+            assert main(argv) == 0
+            docs.append(json.loads(capsys.readouterr().out))
+        doc = docs[0]
+        assert doc["answers_identical"] and doc["passed"]
+        assert doc["per_query_io"]["count"] == 48
+        assert doc["per_query_io"]["p50"] <= doc["per_query_io"]["p99"]
+        assert "svc_query_io" in doc["metrics"]
+        # Everything except wall-clock must be byte-for-byte stable.
+        for d in docs:
+            d.pop("wall_s")
+        assert docs[0] == docs[1]
+        assert "p50" in (tmp_path / "bench.txt").read_text()
 
 
 class TestLintCli:

@@ -199,6 +199,14 @@ class TestExporters:
         assert d["M"] == machine.M and d["B"] == machine.B
         assert d["root"]["name"] == "(machine)"
 
+    def test_render_span_tree_zero_spans(self):
+        # Regression: an empty trace list used to crash on max() of an
+        # empty sequence; it must degrade to a stub instead.
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_span_rollup_zero_spans(self):
+        assert span_rollup([]) == {}
+
 
 class TestMeasureFix:
     def test_measure_comparisons_and_no_by_phase_aliasing(self):
