@@ -26,6 +26,7 @@ MODULES = [
     "repro.em.records",
     "repro.em.comparisons",
     "repro.em.errors",
+    "repro.em.wire",
     "repro.alg.sort",
     "repro.alg.sampling",
     "repro.alg.distribute",
@@ -68,6 +69,7 @@ MODULES = [
     "repro.lint.rules_cpu",
     "repro.lint.rules_rng",
     "repro.lint.rules_lease",
+    "repro.lint.rules_shard",
     "repro.lint.runner",
     "repro.apps.histogram",
     "repro.apps.load_balance",
@@ -77,6 +79,9 @@ MODULES = [
     "repro.service.updates",
     "repro.service.frontend",
     "repro.service.durability",
+    "repro.shard.transport",
+    "repro.shard.worker",
+    "repro.shard.router",
     "repro.experiments.base",
     "repro.experiments.runner",
     "repro.experiments.report_all",

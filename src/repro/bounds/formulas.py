@@ -32,6 +32,7 @@ __all__ = [
     "online_trace_io",
     "service_index_io",
     "service_recovery_io",
+    "sharded_service_io",
     "lemma5_condition",
 ]
 
@@ -187,6 +188,32 @@ def service_index_io(n: int, k: int, queries: int, m: int, b: int) -> float:
     service's ``slack = 1`` window).
     """
     return sort_io(n, m, b) + scan_io(n, b) + queries * (2.0 * n / (k * b))
+
+
+def sharded_service_io(
+    n: int, k: int, queries: int, shards: int, m: int, b: int,
+    batch: int = 64,
+) -> float:
+    """Coordinator-side cost of the W-sharded service: build + trace.
+
+    The coordinator pays for splitter sampling (one scan), the
+    distribution pass (one scan plus the *charged sends* of every
+    record to its shard — communication is block I/O, ``~N/B`` writes),
+    and per-flush communication: each of the ``ceil(Q/batch)``
+    frontend flushes exchanges a request/reply pair with up to ``W``
+    shards (an envelope block each way), with the answer payloads
+    adding ``~Q/B`` read blocks in total.  Control traffic (ingest
+    acks, seal, shutdown) is ``O(W)`` round trips.  Per-shard engine
+    work happens on the workers' own counters and is priced by
+    :func:`online_trace_io` at shard scale, not here.
+    """
+    flushes = -(-queries // batch)
+    return (
+        3.0 * scan_io(n, b)
+        + 2.0 * shards * flushes
+        + queries / b
+        + 8.0 * shards
+    )
 
 
 def service_recovery_io(

@@ -530,10 +530,22 @@ def _build_service(args):
     if durable and args.engine != "eager":
         print("--durable requires the eager engine", file=sys.stderr)
         raise SystemExit(2)
+    shards = getattr(args, "shards", 0) or 0
+    if shards and args.engine != "lazy":
+        print("--shards requires the lazy engine", file=sys.stderr)
+        raise SystemExit(2)
     machine = Machine(memory=args.memory, block=args.block)
     records = WORKLOADS[args.workload](args.n, seed=args.seed)
     file = load_input(machine, records)
     machine.reset_counters()
+    if shards:
+        from .shard import build_sharded_service
+
+        router = build_sharded_service(
+            machine, file, shards=shards, k=args.k,
+            workers=getattr(args, "workers", "inproc"),
+        )
+        return machine, file, router
     if args.engine == "eager":
         if durable:
             from .service import DurablePartitionIndex
@@ -593,7 +605,10 @@ def _cmd_query(args) -> int:
         for query in queries:
             frontend.submit(query)
         answers = frontend.flush()
-        print(f"engine={args.engine} N={args.n} K={args.k} "
+        label = args.engine
+        if getattr(args, "shards", 0):
+            label = f"sharded[{engine.nshards}x{args.workers}]"
+        print(f"engine={label} N={args.n} K={args.k} "
               f"n_live={engine.n_live}")
         _print_answers(queries, answers)
         flush = frontend.flushes[-1]
@@ -886,6 +901,8 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_bench_queries(args) -> int:
+    if args.shards:
+        return _bench_queries_sharded(args)
     import json
 
     from .analysis.report import render_kv
@@ -1008,6 +1025,181 @@ def _cmd_bench_queries(args) -> int:
             "passed": passed,
             "wall_s": round(wall, 3),
             "metrics": registry.to_dict(),
+        }
+        print(json.dumps(doc, indent=1))
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+        print(f"\nwrote {out}")
+    return 0 if passed else 1
+
+
+def _bench_queries_sharded(args) -> int:
+    """``bench-queries --shards W``: the same trace against the sharded
+    service and the single-machine engine, answers asserted identical.
+
+    The text record (``SERVICE_SHARDS.txt``) carries wall-clock timing
+    and the observed speedup; the ``--json`` document deliberately
+    excludes both so it is byte-reproducible across runs.  The >= 2x
+    parallel-throughput gate only applies with process workers on a
+    host with at least 4 CPUs — elsewhere the speedup is recorded but
+    not asserted.
+    """
+    import json
+    import os
+
+    from .analysis.report import render_kv
+    from .em import Machine
+    from .em.records import composite
+    from .experiments.runner import default_out_dir
+    from .obs import MetricsRegistry, metrics_scope
+    from .service import LazyPartitionIndex, Query, QueryFrontend
+    from .shard import build_sharded_service
+    from .workloads import load_input
+    from .workloads.generators import random_permutation
+    from .workloads.queries import QUERY_TRACES
+
+    n = args.n or (2**16 if args.quick else 2**18)
+    k = args.k or (64 if args.quick else 256)
+    q = args.queries or (128 if args.quick else 512)
+    w = args.shards
+    trace_fn = QUERY_TRACES[args.trace]
+    if args.trace == "zipfian":
+        trace = trace_fn(q, n, seed=args.seed, alpha=args.alpha)
+    elif args.trace == "shard-skew":
+        trace = trace_fn(q, n, seed=args.seed, shards=w)
+    else:
+        trace = trace_fn(q, n, seed=args.seed)
+    records = random_permutation(n, seed=args.seed)
+    queries = [Query.select(int(r)) for r in trace]
+
+    # Single-machine reference on its own machine (no shared state).
+    mach1 = Machine(memory=args.memory, block=args.block)
+    f1 = load_input(mach1, records)
+    mach1.reset_counters()
+    t0 = time.time()
+    with LazyPartitionIndex(mach1, f1, k=k) as engine:
+        single = QueryFrontend(mach1, engine).run(queries, batch=args.batch)
+        single_io = mach1.io.total
+    single_wall = time.time() - t0
+    f1.free()
+    mach1.close()
+
+    # Sharded run: coordinator + W workers, all communication charged.
+    registry = MetricsRegistry()
+    mach2 = Machine(memory=args.memory, block=args.block)
+    f2 = load_input(mach2, records)
+    mach2.reset_counters()
+    t0 = time.time()
+    with metrics_scope(registry):
+        with build_sharded_service(
+            mach2, f2, shards=w, k=k, workers=args.workers
+        ) as router:
+            build_io = mach2.io.total
+            sharded = QueryFrontend(mach2, router).run(
+                queries, batch=args.batch
+            )
+            trace_io = mach2.io.total - build_io
+            io_stats = router.shard_io_stats()
+            sizes = [int(s) for s in router.shard_sizes]
+    sharded_wall = time.time() - t0
+    coord_io = mach2.io.total
+    f2.free()
+    mach2.close()
+
+    identical = bool(np.array_equal(
+        composite(np.array(single, dtype=records.dtype)),
+        composite(np.array(sharded, dtype=records.dtype)),
+    ))
+    shard_io = [
+        int(s["lifetime_reads"] + s["lifetime_writes"]) for s in io_stats
+    ]
+    io_balance = max(shard_io) / max(1.0, float(np.mean(shard_io)))
+    size_balance = max(sizes) / max(1.0, float(np.mean(sizes)))
+    families = registry.to_dict()
+    msgs = int(sum(
+        c["value"] for c in families["svc_shard_msgs"]["children"].values()
+    ))
+    comm_bytes = int(sum(
+        c["value"] for c in families["svc_shard_bytes"]["children"].values()
+    ))
+    speedup = single_wall / sharded_wall if sharded_wall > 0 else float("inf")
+    throughput_gated = args.workers == "process" and (os.cpu_count() or 1) >= 4
+    throughput_ok = (not throughput_gated) or speedup >= 2.0
+    if throughput_gated:
+        gate_note = "PASS" if throughput_ok else "FAIL"
+    else:
+        gate_note = "skipped (needs process workers on >= 4 CPUs)"
+    passed = identical and throughput_ok
+
+    per_shard = ", ".join(
+        f"s{i}: n={sizes[i]} io={shard_io[i]:,}" for i in range(w)
+    )
+    lines = [
+        f"sharded service bench: {args.trace} trace, seed {args.seed}",
+        render_kv([
+            ("N / K / queries / shards", f"{n} / {k} / {q} / {w}"),
+            ("workers", args.workers),
+            ("machine", f"M={args.memory} B={args.block} "
+                        f"(flush batch {args.batch})"),
+            ("single-machine I/O", f"{single_io:,}"),
+            ("coordinator I/O (build + trace)",
+             f"{coord_io:,} ({build_io:,} + {trace_io:,})"),
+            ("per-shard (size, lifetime I/O)", per_shard),
+            ("shard I/O balance (max/mean)", f"{io_balance:.3f}"),
+            ("shard size balance (max/mean)", f"{size_balance:.3f}"),
+            ("messages / charged bytes", f"{msgs:,} / {comm_bytes:,}"),
+            ("answers identical to single machine",
+             "yes" if identical else "NO"),
+            ("wall single / sharded",
+             f"{single_wall:.2f}s / {sharded_wall:.2f}s"),
+            ("observed speedup", f"{speedup:.2f}x"),
+            (">= 2x throughput gate", gate_note),
+            ("acceptance", "PASS" if passed else "FAIL"),
+        ]),
+    ]
+    text = "\n".join(lines)
+    out = Path(args.out) if args.out else (
+        default_out_dir() / "SERVICE_SHARDS.txt"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    if args.json:
+        doc = {
+            "config": {
+                "trace": args.trace,
+                "n": n,
+                "k": k,
+                "queries": q,
+                "shards": w,
+                "workers": args.workers,
+                "batch": args.batch,
+                "seed": args.seed,
+                "memory": args.memory,
+                "block": args.block,
+            },
+            "single_io": int(single_io),
+            "coordinator_io": {
+                "build": int(build_io),
+                "trace": int(trace_io),
+                "total": int(coord_io),
+            },
+            "shards": [
+                {
+                    "shard": int(s["shard"]),
+                    "n": int(s["n"]),
+                    "lifetime_reads": int(s["lifetime_reads"]),
+                    "lifetime_writes": int(s["lifetime_writes"]),
+                    "lifetime_comparisons": int(s["lifetime_comparisons"]),
+                }
+                for s in io_stats
+            ],
+            "io_balance": io_balance,
+            "size_balance": size_balance,
+            "messages": msgs,
+            "comm_bytes": comm_bytes,
+            "answers_identical": identical,
+            "metrics": families,
         }
         print(json.dumps(doc, indent=1))
         print(f"wrote {out}", file=sys.stderr)
@@ -1347,6 +1539,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     _service_args(query_p, engine_default="lazy")
     query_p.add_argument(
+        "--shards", type=int, default=0, metavar="W",
+        help="shard the service across W coordinator-driven workers "
+        "(lazy engine only; 0 = single machine)",
+    )
+    query_p.add_argument(
+        "--workers", choices=["inproc", "process"], default="inproc",
+        help="worker placement for --shards (default inproc)",
+    )
+    query_p.add_argument(
         "queries", nargs="+", metavar="QUERY",
         help="select:R | quantile:Q | range:LO:HI | part:KEY",
     )
@@ -1360,8 +1561,17 @@ def main(argv: list[str] | None = None) -> int:
         help="small instance (N=2^16, 128 queries) for CI smoke runs",
     )
     bench_p.add_argument(
-        "--trace", choices=["zipfian", "uniform", "adversarial"],
+        "--trace", choices=["zipfian", "uniform", "adversarial", "shard-skew"],
         default="zipfian",
+    )
+    bench_p.add_argument(
+        "--shards", type=int, default=0, metavar="W",
+        help="benchmark the W-sharded service against the single-machine "
+        "engine on the same trace (writes SERVICE_SHARDS.txt)",
+    )
+    bench_p.add_argument(
+        "--workers", choices=["inproc", "process"], default="inproc",
+        help="worker placement for --shards (default inproc)",
     )
     bench_p.add_argument("--queries", type=int, default=None)
     bench_p.add_argument("--alpha", type=float, default=1.1,

@@ -268,12 +268,14 @@ class Machine:
         *,
         sanitize: bool | None = None,
         kernel: "str | KernelBackend | None" = None,
+        label: str = "",
     ) -> None:
         if block < 1:
             raise ValueError("block size B must be >= 1")
         if memory < 2 * block:
             raise ValueError("model requires M >= 2B")
         self._M = int(memory)
+        self._label = str(label)
         self._B = int(block)
         if sanitize is None:
             sanitize = sanitize_default()
@@ -317,6 +319,12 @@ class Machine:
     def fanout(self) -> int:
         """``M / B`` — the model's branching parameter."""
         return self._M // self._B
+
+    @property
+    def label(self) -> str:
+        """Optional display name (e.g. ``"shard-3"``) stamped into traces
+        and metrics labels; ``""`` for anonymous machines."""
+        return self._label
 
     @property
     def sanitize(self) -> bool:

@@ -31,6 +31,7 @@ from . import (  # noqa: F401  (registration imports)
     resources,
     sec3,
     service,
+    shards,
     substrate,
     t1_partitioning,
     t1_splitters,

@@ -41,7 +41,7 @@ __all__ = [
 #: Subsystems that hold *algorithm* code: every block transfer and key
 #: comparison there must flow through the counted ``em`` APIs.
 ALGORITHM_SUBSYSTEMS = frozenset(
-    {"alg", "baselines", "service", "apps", "core"}
+    {"alg", "baselines", "service", "apps", "core", "shard"}
 )
 
 #: Subsystems that *implement* the model and its observability — they own
@@ -242,6 +242,7 @@ def _ensure_loaded() -> None:
         rules_kernel,
         rules_lease,
         rules_rng,
+        rules_shard,
     )
 
 

@@ -1,0 +1,83 @@
+"""R7 — shard-isolation rule.
+
+Shards are separate machines: the only sanctioned channel for
+cross-shard data movement is ``Transport.send``/``recv``
+(:mod:`repro.shard.transport`), whose every message is charged as block
+I/O on both endpoints.  Code in ``shard/`` that reaches into another
+object's ``machine``/``disk``/``file``/``engine`` (or their
+underscore-private spellings) moves records between shards for free —
+uncharged, invisible to traces and metrics, and outside what the
+differential and conservation tests cover.
+
+An object's *own* state is fine: accesses through ``self``/``cls``
+(e.g. a worker's ``self._machine``) are exempt, as is
+``transport.py`` itself — the one module allowed to touch both
+endpoints' machines, since it is the thing doing the charging.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from .engine import LintRule, ModuleContext, register
+from .findings import LintFinding
+
+__all__ = ["ShardIsolationRule"]
+
+#: Attribute names that reach a shard's private substrate.
+_SHARD_STATE_ATTRS = frozenset(
+    {
+        "machine",
+        "disk",
+        "file",
+        "engine",
+        "_machine",
+        "_disk",
+        "_file",
+        "_engine",
+    }
+)
+
+#: The sanctioned channel module (relative to the shard package).
+_CHANNEL_MODULE = "transport.py"
+
+
+@register
+class ShardIsolationRule(LintRule):
+    """R7: cross-shard data movement must go through ``Transport``."""
+
+    rule_id = "R7"
+    title = "shard code must not reach into another shard's substrate"
+    rationale = (
+        "Every message between the coordinator and a shard worker is "
+        "charged as block I/O on both endpoints by the Transport layer. "
+        "Touching another object's `machine`/`disk`/`file`/`engine` "
+        "inside `shard/` moves data between machines without paying for "
+        "it — the communication disappears from counters, traces, "
+        "metrics, and the budget gate, and the sharded/single-machine "
+        "conservation identity silently breaks."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
+        if ctx.subsystem != "shard" or ctx.is_test:
+            return
+        if Path(ctx.relpath).name == _CHANNEL_MODULE:
+            return  # the sanctioned channel charges both endpoints itself
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _SHARD_STATE_ATTRS:
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"access to `.{node.attr}` of a non-self object inside "
+                "`shard/` — cross-shard state must move through "
+                "`Transport.send`/`recv` so it is charged on both "
+                "endpoints",
+            )

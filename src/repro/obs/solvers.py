@@ -33,6 +33,7 @@ from ..bounds.formulas import (
     scan_io,
     service_index_io,
     service_recovery_io,
+    sharded_service_io,
     sort_io,
     splitters_right_bound,
 )
@@ -119,6 +120,24 @@ def _run_service_online(machine: "Machine", file: "EMFile", p: dict) -> str:
     return (
         f"{p['queries']} queries, {refinements} refinements, "
         f"{frontend.amortized_io:.1f} I/Os/query"
+    )
+
+
+def _run_service_sharded(machine: "Machine", file: "EMFile", p: dict) -> str:
+    from ..service import Query, QueryFrontend
+    from ..shard import build_sharded_service
+    from ..workloads.queries import zipfian_trace
+
+    trace = zipfian_trace(p["queries"], p["n"], seed=p["seed"], alpha=1.1)
+    with build_sharded_service(
+        machine, file, shards=p["shards"], k=p["k"]
+    ) as router:
+        frontend = QueryFrontend(machine, router)
+        frontend.run([Query.select(int(r)) for r in trace], batch=64)
+        sizes = router.shard_sizes
+    return (
+        f"{p['shards']} shards (sizes {int(sizes.min())}..{int(sizes.max())}), "
+        f"{p['queries']} queries, {frontend.amortized_io:.1f} I/Os/query"
     )
 
 
@@ -262,6 +281,25 @@ SOLVERS: dict[str, Solver] = {
             ),
             formula_name="online_trace_io",
             run=_run_service_online,
+        ),
+        # The sharded coordinator (ISSUE 9): split across W workers by
+        # sampled splitters, answer the zipfian trace through the
+        # router.  The envelope prices the *coordinator's* counters —
+        # sampling + distribution scans, the charged sends of every
+        # record, and the per-flush request/reply communication; the
+        # workers' engine I/O lives on their own machines (checked by
+        # the conservation tests, not this gate).
+        Solver(
+            name="service-sharded",
+            title="sharded partition service, coordinator + communication",
+            defaults=dict(n=2**17, k=128, a=0, part_size=0, queries=256,
+                          shards=4, memory=4096, block=64, seed=0),
+            formula=lambda p: sharded_service_io(
+                p["n"], p["k"], p["queries"], p["shards"],
+                p["memory"], p["block"],
+            ),
+            formula_name="sharded_service_io",
+            run=_run_service_sharded,
         ),
         Solver(
             name="service-index",

@@ -144,6 +144,7 @@ class MachineTrace:
         self.M = machine.M
         self.B = machine.B
         self.kernel = machine.kernel.name
+        self.label = machine.label
         # Lifetime-counter baseline for the conservation check: the
         # exclusive span counts recorded between attach and detach must
         # sum exactly to the machine's lifetime deltas over the same
@@ -263,6 +264,7 @@ class MachineTrace:
         """Plain JSON-serializable form of the whole trace."""
         return {
             "machine": self.index,
+            "label": self.label,
             "M": self.M,
             "B": self.B,
             "kernel": self.kernel,
@@ -270,8 +272,9 @@ class MachineTrace:
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = f"#{self.index}" + (f" {self.label!r}" if self.label else "")
         return (
-            f"MachineTrace(#{self.index}, M={self.M}, B={self.B}, "
+            f"MachineTrace({name}, M={self.M}, B={self.B}, "
             f"kernel={self.kernel}, "
             f"io={self.root.cum_io}, spans={sum(1 for _ in self.root.walk())})"
         )

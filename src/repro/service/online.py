@@ -139,6 +139,15 @@ class LazyPartitionIndex:
     def n_live(self) -> int:
         return self._root.size
 
+    @property
+    def n_leaves(self) -> int:
+        """Current number of leaves in the lazy tree (zero I/O).
+
+        Grows as queries force refinement; the sharded router uses it to
+        offset local :meth:`partition_of` answers into a global
+        left-to-right leaf order."""
+        return self._leaf_count(self._root)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

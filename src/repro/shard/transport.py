@@ -1,0 +1,240 @@
+"""Pluggable coordinator↔worker transports with charged endpoints.
+
+A :class:`Transport` is one bidirectional link between the coordinator
+and one shard worker.  Each side binds an :class:`Endpoint` to the
+machine that pays for its traffic; every ``send``/``recv`` then
+
+* charges block I/O on that machine via :mod:`repro.em.wire`
+  (writes on send under the ``"shard-send"`` phase, reads on receive
+  under ``"shard-recv"``), and
+* records the message and its canonical payload size in the ambient
+  metrics registry (``svc_shard_msgs`` / ``svc_shard_bytes``, labeled
+  by shard and direction).
+
+Charges derive from :func:`~repro.em.wire.payload_words` over the
+*abstract* message value, never from serialized bytes, so all three
+transports here — reference-passing, pickle-round-trip, and
+multiprocessing pipe — cost identically and sharded runs stay
+deterministic across worker implementations.
+
+This module is the one sanctioned channel for cross-shard data
+movement: emlint rule R7 forbids ``shard/`` code outside this file from
+touching another endpoint's ``Machine``/``Disk``/``EMFile`` directly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..em.wire import (
+    RECV_PHASE,
+    SEND_PHASE,
+    charge_recv,
+    charge_send,
+    message_blocks,
+    payload_words,
+)
+from ..obs.metrics import current_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+    from ..em.machine import Machine
+
+__all__ = [
+    "Message",
+    "Endpoint",
+    "Transport",
+    "InProcTransport",
+    "SerializedTransport",
+    "PipeTransport",
+    "TRANSPORTS",
+    "ShardError",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed, died, or broke the message protocol."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One coordinator↔worker message.
+
+    ``io`` rides on replies only: the worker's measured
+    ``(reads, writes, comparisons)`` delta for receiving and handling
+    the request, which the router feeds into per-shard histograms.
+    ``seq`` is stamped by the sending endpoint and checked on receipt.
+    """
+
+    kind: str
+    payload: object = None
+    shard: int = -1
+    seq: int = -1
+    io: tuple | None = None
+
+    def words(self) -> int:
+        """Canonical charged size of this message in 64-bit words."""
+        return payload_words((self.kind, self.payload, self.io))
+
+
+@dataclass
+class Endpoint:
+    """One side of a transport link, bound to the machine that pays."""
+
+    machine: "Machine"
+    shard: int
+    role: str  # "coordinator" | "worker"
+    _put: object = field(repr=False, default=None)
+    _get: object = field(repr=False, default=None)
+    _seq_out: int = 0
+    _seq_in: int = 0
+
+    def __post_init__(self) -> None:
+        registry = current_registry()
+        self._m_msgs = registry.counter(
+            "svc_shard_msgs",
+            "messages through shard transports",
+            labels=("shard", "direction"),
+        )
+        self._m_bytes = registry.counter(
+            "svc_shard_bytes",
+            "canonical payload bytes through shard transports",
+            labels=("shard", "direction"),
+        )
+
+    def send(self, message: Message) -> None:
+        """Transmit ``message``; charges block writes on this endpoint."""
+        message = Message(
+            kind=message.kind,
+            payload=message.payload,
+            shard=self.shard,
+            seq=self._seq_out,
+            io=message.io,
+        )
+        self._seq_out += 1
+        words = message.words()
+        charge_send(self.machine, message_blocks(words, self.machine.B), SEND_PHASE)
+        self._m_msgs.labels(shard=self.shard, direction="send").inc()
+        self._m_bytes.labels(shard=self.shard, direction="send").inc(8 * words)
+        self._put(message)
+
+    def recv(self) -> Message:
+        """Take the next message; charges block reads on this endpoint.
+
+        Raises :class:`ShardError` on sequence-number gaps (a transport
+        dropped or reordered a message) and lets the underlying
+        channel's EOF errors propagate (a dead peer — the pools turn
+        those into :class:`ShardError` with shard context).
+        """
+        message = self._get()
+        if message.seq != self._seq_in:
+            raise ShardError(
+                f"shard {self.shard} {self.role} endpoint: expected message "
+                f"seq {self._seq_in}, got {message.seq}"
+            )
+        self._seq_in += 1
+        words = message.words()
+        charge_recv(self.machine, message_blocks(words, self.machine.B), RECV_PHASE)
+        self._m_msgs.labels(shard=self.shard, direction="recv").inc()
+        self._m_bytes.labels(shard=self.shard, direction="recv").inc(8 * words)
+        return message
+
+
+class Transport:
+    """One coordinator↔one-worker link; subclasses supply the channel."""
+
+    name = "abstract"
+
+    def __init__(self, shard: int) -> None:
+        self.shard = int(shard)
+
+    def coordinator_end(self, machine: "Machine") -> Endpoint:
+        put, get = self._coordinator_channel()
+        return Endpoint(machine, self.shard, "coordinator", put, get)
+
+    def worker_end(self, machine: "Machine") -> Endpoint:
+        put, get = self._worker_channel()
+        return Endpoint(machine, self.shard, "worker", put, get)
+
+    def _coordinator_channel(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _worker_channel(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class InProcTransport(Transport):
+    """Reference-passing queues: the in-process default."""
+
+    name = "inproc"
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(shard)
+        self._to_worker: deque = deque()
+        self._to_coord: deque = deque()
+
+    def _coordinator_channel(self):
+        return self._to_worker.append, self._to_coord.popleft
+
+    def _worker_channel(self):
+        return self._to_coord.append, self._to_worker.popleft
+
+
+class SerializedTransport(Transport):
+    """Pickle round-trip queues: in-process, but every message crosses a
+    real serialization boundary — what a socket or pipe would carry.
+
+    Proves (and the tests assert) that charging and answers are
+    identical to :class:`InProcTransport`, the harness/adapter split
+    that lets process workers reuse the in-process protocol unchanged.
+    """
+
+    name = "serialized"
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(shard)
+        self._to_worker: deque = deque()
+        self._to_coord: deque = deque()
+
+    @staticmethod
+    def _encode(q: deque):
+        return lambda msg: q.append(pickle.dumps(msg))
+
+    @staticmethod
+    def _decode(q: deque):
+        return lambda: pickle.loads(q.popleft())
+
+    def _coordinator_channel(self):
+        return self._encode(self._to_worker), self._decode(self._to_coord)
+
+    def _worker_channel(self):
+        return self._encode(self._to_coord), self._decode(self._to_worker)
+
+
+class PipeTransport(Transport):
+    """A :mod:`multiprocessing` duplex pipe; construct one per process
+    around that process's :class:`~multiprocessing.connection.Connection`
+    half (the object itself never crosses the fork)."""
+
+    name = "pipe"
+
+    def __init__(self, shard: int, conn: "Connection") -> None:
+        super().__init__(shard)
+        self._conn = conn
+
+    def _coordinator_channel(self):
+        return self._conn.send, self._conn.recv
+
+    def _worker_channel(self):
+        return self._conn.send, self._conn.recv
+
+
+#: In-process transports selectable by name from the CLI / pools.
+TRANSPORTS = {
+    InProcTransport.name: InProcTransport,
+    SerializedTransport.name: SerializedTransport,
+}

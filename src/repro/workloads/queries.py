@@ -29,6 +29,7 @@ __all__ = [
     "uniform_trace",
     "zipfian_trace",
     "adversarial_trace",
+    "shard_skew_trace",
     "mixed_query_trace",
     "update_batches",
     "QUERY_TRACES",
@@ -101,6 +102,39 @@ def adversarial_trace(q: int, n: int, seed: int = 0) -> np.ndarray:
     even = np.linspace(1, n, q).astype(np.int64)
     rot = int(_rng(seed).integers(0, q))
     return even[(np.array(order, dtype=np.int64) + rot) % q]
+
+
+def shard_skew_trace(
+    q: int,
+    n: int,
+    seed: int = 0,
+    shards: int = 8,
+    alpha: float = 1.2,
+) -> np.ndarray:
+    """``q`` ranks with zipfian popularity over *rank stripes* — the
+    hot-shard workload for the sharded service.
+
+    The rank space splits into ``shards`` equal contiguous stripes (a
+    key-range-sharded deployment routes each stripe to one shard).
+    Each query picks a stripe with Zipf(``alpha``) popularity — stripe
+    popularity order is a seeded permutation, so the hot shard isn't
+    always shard 0 — then a uniform rank inside it.  With ``shards``
+    matching the service's ``W`` this adversarially skews routing (one
+    worker sees most of the traffic); with ``shards = 1`` it degrades
+    to :func:`uniform_trace`-like balanced load.
+    """
+    if n < 1 or q < 0:
+        raise ValueError("need n >= 1 and q >= 0")
+    if shards < 1 or shards > n:
+        raise ValueError("need 1 <= shards <= n")
+    if alpha <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    rng = _rng(seed)
+    hot_order = rng.permutation(shards)
+    stripe = hot_order[(rng.zipf(alpha, size=q).astype(np.int64) - 1) % shards]
+    bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+    lo, hi = bounds[stripe], bounds[stripe + 1]
+    return (lo + rng.integers(0, np.maximum(hi - lo, 1))).astype(np.int64) + 1
 
 
 def mixed_query_trace(
@@ -196,4 +230,5 @@ QUERY_TRACES = {
     "uniform": uniform_trace,
     "zipfian": zipfian_trace,
     "adversarial": adversarial_trace,
+    "shard-skew": shard_skew_trace,
 }

@@ -163,13 +163,13 @@ class TestReport:
         assert "paper vs. measured" in first_doc
         data = json.loads(results.read_text())
         assert data["passed"] and data["quick"]
-        assert len(data["experiments"]) == 21
+        assert len(data["experiments"]) == 22
         assert all(not e["cached"] for e in data["experiments"])
         capsys.readouterr()
 
         # Second invocation: served entirely from cache, byte-identical.
         assert main(argv) == 0
-        assert "21 cached" in capsys.readouterr().out
+        assert "22 cached" in capsys.readouterr().out
         assert out.read_text() == first_doc
         data = json.loads(results.read_text())
         assert all(e["cached"] for e in data["experiments"])
@@ -182,7 +182,7 @@ class TestReport:
                 "--cache-dir", str(tmp_path / "cache")]
         assert main(argv) == 0
         assert not (tmp_path / "cache").exists()
-        assert "21 run, 0 cached" in capsys.readouterr().out
+        assert "22 run, 0 cached" in capsys.readouterr().out
 
 
 class TestTrace:
