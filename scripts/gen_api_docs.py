@@ -65,11 +65,18 @@ MODULES = [
     "repro.obs.recorder",
     "repro.lint.findings",
     "repro.lint.engine",
+    "repro.lint.project",
+    "repro.lint.callgraph",
+    "repro.lint.dataflow",
+    "repro.lint.cache",
     "repro.lint.rules_access",
     "repro.lint.rules_cpu",
     "repro.lint.rules_rng",
     "repro.lint.rules_lease",
+    "repro.lint.rules_kernel",
     "repro.lint.rules_shard",
+    "repro.lint.rules_protocol",
+    "repro.lint.rules_registry",
     "repro.lint.runner",
     "repro.apps.histogram",
     "repro.apps.load_balance",
@@ -117,10 +124,16 @@ see ``repro <command> --help`` for every flag.
   check every registered solver against `benchmarks/budgets.json`, or
   recalibrate and rewrite the envelopes after an intentional cost
   change.
-- `repro lint [PATH ...] [--json] [--rule RULE ...]` — run the emlint
-  EM-conformance rules (`repro.lint`, rules R1–R5) over the source
-  tree; exits non-zero on any active error-severity finding (see
-  `docs/LINTING.md` for the rule catalog and suppression policy).
+- `repro lint [PATH ...] [--json] [--rule RULE ...] [--diff REF]
+  [--baseline FILE] [--no-cache]` — run the emlint EM-conformance
+  rules (`repro.lint`, rules R1–R9) with whole-program call-graph and
+  dataflow analysis over the package plus `scripts/` and
+  `benchmarks/`; exits non-zero on any active error-severity finding.
+  `--diff` reports only files changed versus a git ref (analysis stays
+  whole-tree), `--baseline` reports only findings absent from a prior
+  `--json` report, and per-module results are cached in
+  `.emlint-cache/` (see `docs/LINTING.md` for the rule catalog and
+  suppression policy).
 - `repro sanitize-check [--solver NAME ...]` — arm the runtime
   sanitizer: deliberately fire every trap (use-after-free, double-free,
   uninitialized read, double release, lease leak), then run the

@@ -34,7 +34,9 @@ def bucket_indices(records: np.ndarray, pivot_composites: np.ndarray) -> np.ndar
     ``pivot_composites`` must be sorted ascending.  A record equal to pivot
     ``p_i`` lands in bucket ``i`` (the half-open convention ``(p_{i-1}, p_i]``).
     """
-    # Pure helper: every caller charges cmp_search for this searchsorted.
+    # Exported API with no in-package callers (tests and kernel backends
+    # use it directly), so caller-side charging is invisible to the call
+    # graph; each caller pairs it with cmp_search.
     return np.searchsorted(pivot_composites, composite(records), side="left")  # emlint: disable=R3
 
 

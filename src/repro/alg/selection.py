@@ -37,13 +37,13 @@ def _group_medians(chunk: np.ndarray) -> np.ndarray:
     parts = []
     if full:
         groups = chunk[:full].reshape(-1, 5)
-        # Pure helper: the caller charges cmp_median5 for the whole chunk.
-        order = np.argsort(composite(groups), axis=1)  # emlint: disable=R3
+        # Pure helper: callers charge cmp_median5 (dataflow: callers-charge).
+        order = np.argsort(composite(groups), axis=1)
         med = groups[np.arange(len(groups)), order[:, 2]]
         parts.append(med)
     rest = chunk[full:]
     if len(rest):
-        rest = sort_records(rest)  # emlint: disable=R3,R6 — pure helper (no machine in scope); caller's cmp_median5 covers it, ≤4 records
+        rest = sort_records(rest)  # emlint: disable=R6 — no machine in scope for a kernel call; ≤4 records (R3 cleared by dataflow: callers charge cmp_median5)
         parts.append(rest[(len(rest) - 1) // 2 : (len(rest) - 1) // 2 + 1])
     if not parts:
         return chunk[:0]

@@ -373,7 +373,10 @@ def _cmd_budgets(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json as _json
+
     from .lint import lint_paths
+    from .lint.runner import baseline_delta, git_changed_files
 
     rule_ids = None
     if args.rule:
@@ -384,11 +387,33 @@ def _cmd_lint(args) -> int:
             if r.strip()
         ]
     paths = args.paths or None
+    only_paths = None
+    if getattr(args, "diff", None):
+        changed = git_changed_files(args.diff)
+        if changed is None:
+            print(
+                f"lint --diff: cannot resolve git ref {args.diff!r}",
+                file=sys.stderr,
+            )
+            return 2
+        only_paths = changed
     try:
-        report = lint_paths(paths, rule_ids=rule_ids)
+        report = lint_paths(
+            paths,
+            rule_ids=rule_ids,
+            use_cache=not getattr(args, "no_cache", False),
+            only_paths=only_paths,
+        )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if getattr(args, "baseline", None):
+        try:
+            baseline = _json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"lint --baseline: {exc}", file=sys.stderr)
+            return 2
+        report = baseline_delta(report, baseline)
     if args.json:
         sys.stdout.write(report.to_json())
     else:
@@ -1443,6 +1468,20 @@ def main(argv: list[str] | None = None) -> int:
     lint_p.add_argument(
         "--rule", action="append", default=None, metavar="RULE",
         help="restrict to these rule ids (repeatable, comma-separable)",
+    )
+    lint_p.add_argument(
+        "--diff", metavar="REF", default=None,
+        help="report findings only for files changed against this git "
+        "ref (analysis still covers the whole tree)",
+    )
+    lint_p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings already present in this stored --json "
+        "report; only new findings fail the gate",
+    )
+    lint_p.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the content-addressed analysis cache",
     )
 
     sanitize_p = sub.add_parser(

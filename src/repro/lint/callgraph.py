@@ -1,0 +1,309 @@
+"""Project call graph: resolving every call site to its definition.
+
+Resolution is purely syntactic, layered from most to least precise:
+
+1. **Local names** — a call ``f(...)`` resolves through the module's own
+   top-level defs, then its import aliases (``from ..em.comparisons
+   import cmp_sort`` makes ``cmp_sort`` fully qualified).
+2. **Dotted chains** — ``sampling.approx_quantile_pivots(...)`` walks
+   the alias of the chain root to a project module; ``np.sort`` walks it
+   to an external package.
+3. **self methods** — ``self.m(...)`` inside ``class C`` resolves to
+   ``C.m`` or up the project-resolvable base-class chain.
+4. **Annotated receivers** — ``machine.phase(...)`` where the enclosing
+   function declares ``machine: "Machine"`` resolves through the class's
+   method table (quoted forward references included).
+5. **Unique method names** — a method name defined by exactly one
+   project class resolves to it; a name defined by several resolves to
+   *all* of them (an over-approximation that is sound for the
+   existential "does any path charge" question the dataflow pass asks).
+6. **Builtins and known externals** — ``len``, ``np.*``, stdlib modules:
+   resolved-external (they can never charge or lease).
+
+Everything else is *unresolved*; :meth:`CallGraph.stats` reports the
+rate, which the golden test pins at >= 95 % for the package source.
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass
+
+from .project import ModuleSummary, ProjectIndex
+
+__all__ = ["CallGraph", "CallStats", "EXTERNAL_ROOTS"]
+
+#: Import roots that are definitely outside the project.
+EXTERNAL_ROOTS = frozenset(
+    {
+        "numpy", "np", "scipy", "math", "os", "sys", "io", "re", "ast",
+        "json", "time", "itertools", "functools", "collections",
+        "dataclasses", "typing", "pathlib", "contextlib", "argparse",
+        "multiprocessing", "pickle", "struct", "hashlib", "tokenize",
+        "textwrap", "tempfile", "shutil", "subprocess", "heapq",
+        "bisect", "random", "warnings", "abc", "enum", "copy",
+        "traceback", "inspect", "importlib", "signal", "socket",
+        "threading", "queue", "logging", "csv", "gzip", "zlib", "uuid",
+        "datetime", "string", "operator", "types", "builtins", "errno",
+        "pytest", "hypothesis", "numbers",
+    }
+)
+
+#: Method names that are overwhelmingly stdlib/numpy container methods —
+#: resolving them to a same-named project method would be noise.
+_EXTERNAL_METHODS = frozenset(
+    {
+        "append", "extend", "pop", "insert", "remove", "clear", "index",
+        "count", "add", "discard", "union", "update", "get", "items",
+        "keys", "values", "setdefault", "join", "split", "rsplit",
+        "strip", "lstrip", "rstrip", "startswith", "endswith", "format",
+        "replace", "lower", "upper", "encode", "decode", "splitlines",
+        "astype", "reshape", "tolist", "tobytes", "view", "fill",
+        "flatten", "ravel", "squeeze", "nonzero", "item", "dumps",
+        "loads", "dump", "load", "mkdir", "exists", "unlink", "glob",
+        "rglob", "read_text", "write_text", "read_bytes", "write_bytes",
+        "resolve", "relative_to", "is_dir", "is_file", "iterdir",
+        "hexdigest", "title", "zfill", "most_common", "popleft",
+        "appendleft", "putmask", "searchsorted_",
+    }
+)
+
+_BUILTINS = frozenset(dir(builtins))
+
+
+@dataclass
+class CallStats:
+    """Resolution accounting over the intra-package call sites."""
+
+    total: int = 0
+    resolved_internal: int = 0
+    resolved_external: int = 0
+    unresolved: int = 0
+
+    @property
+    def rate(self) -> float:
+        if not self.total:
+            return 1.0
+        return (self.resolved_internal + self.resolved_external) / self.total
+
+    def to_dict(self) -> dict:
+        return {
+            "call_sites": self.total,
+            "resolved_internal": self.resolved_internal,
+            "resolved_external": self.resolved_external,
+            "unresolved": self.unresolved,
+            "resolution_rate": round(self.rate, 4),
+        }
+
+
+class CallGraph:
+    """Caller/callee edges over fully qualified function names.
+
+    Node names are ``<module>.<qualname>`` (``repro.alg.selection._select``,
+    ``repro.em.machine.Machine.charge_comparisons``); a module's top-level
+    body is ``<module>.<module body>`` so module-scope calls still have a
+    caller node.
+    """
+
+    MODULE_BODY = "<module body>"
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        #: caller fq -> set of callee fq (internal edges only)
+        self.edges: dict[str, set[str]] = {}
+        #: callee fq -> set of caller fq
+        self.redges: dict[str, set[str]] = {}
+        #: per call site: (summary, call-record) -> resolution
+        self.site_resolutions: list[tuple] = []
+        self.stats = CallStats()
+        self._package_roots = {
+            m.split(".")[0] for m in project.modules if not m.startswith("<ext>")
+        }
+        for summary in project.modules.values():
+            for call in summary.calls:
+                self._resolve_site(summary, call)
+
+    # ------------------------------------------------------------------
+    def caller_node(self, summary: ModuleSummary, caller: str) -> str:
+        qual = caller if caller else self.MODULE_BODY
+        return f"{summary.module_name}.{qual}"
+
+    def _add_edge(self, caller: str, callees: list[str]) -> None:
+        self.edges.setdefault(caller, set()).update(callees)
+        for c in callees:
+            self.redges.setdefault(c, set()).add(caller)
+
+    def callees(self, fq: str) -> set[str]:
+        return self.edges.get(fq, set())
+
+    def callers(self, fq: str) -> set[str]:
+        return self.redges.get(fq, set())
+
+    # ------------------------------------------------------------------
+    def _resolve_site(self, summary: ModuleSummary, call: dict) -> None:
+        counted = summary.module_name.split(".")[0] in self._package_roots
+        resolution, targets = self._resolve(summary, call)
+        call["resolution"] = resolution
+        call["targets"] = targets
+        if counted:
+            self.stats.total += 1
+            if resolution == "internal":
+                self.stats.resolved_internal += 1
+            elif resolution == "external":
+                self.stats.resolved_external += 1
+            else:
+                self.stats.unresolved += 1
+        if resolution == "internal" and targets:
+            self._add_edge(self.caller_node(summary, call["caller"]), targets)
+        self.site_resolutions.append((summary.module_name, call))
+
+    def _class_method(self, fq_class: str, method: str) -> str | None:
+        """Resolve ``method`` on ``fq_class`` or its project bases."""
+        seen = set()
+        stack = [fq_class]
+        while stack:
+            fq = stack.pop()
+            if fq in seen:
+                continue
+            seen.add(fq)
+            info = self.project.classes.get(fq)
+            if info is None:
+                continue
+            if method in info["methods"]:
+                return f"{fq}.{method}"
+            mod = fq.rsplit(".", 1)[0]
+            s = self.project.modules.get(mod)
+            for b in info["bases"]:
+                bname = b.split(".")[-1]
+                if s and bname in s.classes:
+                    stack.append(f"{mod}.{bname}")
+                elif s and bname in s.imports and s.imports[bname] in self.project.classes:
+                    stack.append(s.imports[bname])
+                elif len(self.project.class_index.get(bname, [])) == 1:
+                    stack.append(self.project.class_index[bname][0])
+        return None
+
+    def _resolve_import_target(self, target: str) -> tuple[str, list[str]]:
+        """Classify a fully qualified import target."""
+        root = target.split(".")[0]
+        if root in EXTERNAL_ROOTS or root not in self._package_roots:
+            return "external", []
+        # repro.em.comparisons.cmp_sort — function, class, or module?
+        if target in self.project.functions:
+            return "internal", [target]
+        if target in self.project.classes:
+            init = self._class_method(target, "__init__")
+            return "internal", [init] if init else []
+        if target in self.project.modules:
+            return "internal", [f"{target}.{CallGraph.MODULE_BODY}"]
+        # `from .x import name` where x/__init__ re-exports `name`:
+        # fall back to the top-level functions of that name anywhere in
+        # the project (over-approximating when the name is ambiguous).
+        name = target.split(".")[-1]
+        tops = [
+            f"{m}.{name}"
+            for m, s in self.project.modules.items()
+            if name in s.functions
+        ]
+        if tops:
+            return "internal", tops
+        if len(self.project.class_index.get(name, [])) == 1:
+            init = self._class_method(self.project.class_index[name][0], "__init__")
+            return "internal", [init] if init else []
+        return "unresolved", []
+
+    def _resolve(self, summary: ModuleSummary, call: dict) -> tuple[str, list[str]]:
+        name = call["name"]
+        mod = summary.module_name
+
+        if call["kind"] == "name":
+            if name in summary.functions and "." not in name:
+                return "internal", [f"{mod}.{name}"]
+            if name in summary.classes:
+                init = self._class_method(f"{mod}.{name}", "__init__")
+                return "internal", [init] if init else []
+            if name in summary.imports:
+                return self._resolve_import_target(summary.imports[name])
+            if name in _BUILTINS:
+                return "external", []
+            # decorator-style / nested names: unique project function?
+            return "unresolved", []
+
+        # attribute call: walk the chain root
+        chain = call["chain"]
+        root = chain.split(".")[0] if chain else None
+
+        if root in ("self", "cls"):
+            cls = None
+            caller = call["caller"]
+            if caller and "." in caller:
+                cls = caller.split(".")[0]
+            if chain in ("self", "cls") and cls:
+                target = self._class_method(f"{mod}.{cls}", name)
+                if target:
+                    return "internal", [target]
+                if name in _EXTERNAL_METHODS:
+                    return "external", []
+                return self._method_by_name(name)
+            # self.attr.method(...) — receiver type unknown; fall through
+            return self._method_by_name(name, allow_external=True)
+
+        if root and root in summary.imports:
+            target = summary.imports[root]
+            troot = target.split(".")[0]
+            if troot in EXTERNAL_ROOTS or troot not in self._package_roots:
+                return "external", []
+            rest = chain.split(".")[1:]
+            fq = ".".join([target, *rest])
+            if fq in self.project.modules:
+                # module.func(...)
+                s = self.project.modules[fq]
+                if name in s.functions:
+                    return "internal", [f"{fq}.{name}"]
+                if name in s.classes:
+                    init = self._class_method(f"{fq}.{name}", "__init__")
+                    return "internal", [init] if init else []
+                return "unresolved", []
+            if fq in self.project.classes:
+                target_m = self._class_method(fq, name)
+                if target_m:
+                    return "internal", [target_m]
+            # imported object of known class? e.g. alias to a class
+            if target in self.project.classes and len(chain.split(".")) == 1:
+                target_m = self._class_method(target, name)
+                if target_m:
+                    return "internal", [target_m]
+            return self._method_by_name(name, allow_external=True)
+
+        if root in EXTERNAL_ROOTS:
+            return "external", []
+
+        # annotated receiver: machine: "Machine" -> Machine.method
+        ann = call.get("ann")
+        if ann and len(chain.split(".")) == 1:
+            for fq_class in self.project.class_index.get(ann, []):
+                target = self._class_method(fq_class, name)
+                if target:
+                    return "internal", [target]
+        return self._method_by_name(name, allow_external=True)
+
+    def _method_by_name(
+        self, name: str, allow_external: bool = False
+    ) -> tuple[str, list[str]]:
+        if allow_external and name in _EXTERNAL_METHODS:
+            return "external", []
+        owners = self.project.method_index.get(name, [])
+        if len(owners) == 1:
+            return "internal", [owners[0]]
+        if len(owners) > 1:
+            return "internal", list(owners)  # over-approximate: all of them
+        # top-level function with a unique name anywhere in the project?
+        cands = []
+        for m, s in self.project.modules.items():
+            if name in s.functions:
+                cands.append(f"{m}.{name}")
+        if len(cands) == 1:
+            return "internal", cands
+        if allow_external and name in _BUILTINS:
+            return "external", []
+        return "unresolved", []

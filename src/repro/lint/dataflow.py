@@ -1,0 +1,161 @@
+"""Interprocedural dataflow facts over the project call graph.
+
+Two forward analyses, both simple monotone fixpoints over
+:class:`~repro.lint.callgraph.CallGraph` edges:
+
+**Charge reachability** (R3v2).  The ground truth set is the em layer's
+real charging surface — ``Machine.charge_comparisons`` and the ``cmp_*``
+helpers defined in ``repro.em.comparisons`` — *not* anything that merely
+shares their name: a local ``def cmp_sort`` shadow that never reaches
+the machine does not count (the v1 heuristic's known false negative).
+From the ground set two facts propagate:
+
+* ``reaches_charge(f)`` — f charges directly or some call path out of f
+  reaches the ground set (least fixpoint up the caller direction);
+* ``covered_by_callers(f)`` — every resolved caller of f charges (or is
+  itself covered), so f is a *pure helper whose callers pay* — the
+  pattern the v1 rule could only express as a suppression.
+
+A comparison sink inside f is clean iff ``reaches_charge(f)`` or
+``covered_by_callers(f)``.
+
+**Lease escape** (R5v2).  Per-site dispositions come from the module
+summaries; this pass adds the interprocedural parts: the set of
+*lease-returning* functions (a call to one is a lease acquisition at the
+call site, and gets the same discipline as a direct ``.lease()``), and
+the project-wide attribute-release lookup for leases stored on ``self``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph
+from .project import CHARGE_NAMES, ProjectIndex
+
+__all__ = ["DataflowFacts", "compute_facts"]
+
+#: Fully qualified ground-truth charge sinks: reaching any of these
+#: means the comparison counter advances.
+_GROUND_CHARGE = (
+    "repro.em.machine.Machine.charge_comparisons",
+)
+_GROUND_CHARGE_MODULE = "repro.em.comparisons"
+
+
+@dataclass
+class DataflowFacts:
+    """The interprocedural verdicts the v2 rules consume."""
+
+    project: ProjectIndex
+    graph: CallGraph
+    #: fq function names that reach a real charge
+    reaches_charge: set = field(default_factory=set)
+    #: fq function names all of whose resolved callers charge
+    covered_by_callers: set = field(default_factory=set)
+    #: fq function names whose return value is (or may be) a live lease
+    lease_returners: set = field(default_factory=set)
+
+    def charge_verdict(self, fq_function: str) -> str | None:
+        """The dataflow fact that clears a sink in ``fq_function``
+        (``"reaches-charge"`` / ``"callers-charge"``) or None."""
+        if fq_function in self.reaches_charge:
+            return "reaches-charge"
+        if fq_function in self.covered_by_callers:
+            return "callers-charge"
+        return None
+
+
+def _charge_ground(project: ProjectIndex) -> set[str]:
+    ground = set()
+    for fq in _GROUND_CHARGE:
+        if fq in project.functions:
+            ground.add(fq)
+    em = project.modules.get(_GROUND_CHARGE_MODULE)
+    if em is not None:
+        for qual in em.functions:
+            name = qual.split(".")[-1]
+            if name in CHARGE_NAMES:
+                ground.add(f"{_GROUND_CHARGE_MODULE}.{qual}")
+    return ground
+
+
+def compute_facts(project: ProjectIndex, graph: CallGraph) -> DataflowFacts:
+    facts = DataflowFacts(project=project, graph=graph)
+
+    # ------------------------------------------------------------------
+    # Charge reachability
+    # ------------------------------------------------------------------
+    ground = _charge_ground(project)
+    charges = set(ground)
+
+    # Direct charges: a call site resolving into the ground set, or an
+    # *unresolved* call spelled like a charge helper.  The fallback is
+    # what keeps single-module fixtures (and modules calling helpers the
+    # index cannot see) analyzable; a call that resolves to a local
+    # non-charging shadow is NOT excused by its name.
+    for summary in project.modules.values():
+        for call in summary.calls:
+            caller = graph.caller_node(summary, call["caller"])
+            if call.get("resolution") == "internal":
+                if any(t in ground for t in call.get("targets", ())):
+                    charges.add(caller)
+            elif call.get("resolution") == "unresolved":
+                if call["name"] in CHARGE_NAMES:
+                    charges.add(caller)
+
+    # least fixpoint: f charges if any callee charges
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.edges.items():
+            if caller not in charges and callees & charges:
+                charges.add(caller)
+                changed = True
+    facts.reaches_charge = charges
+
+    # covered-by-callers: all resolved callers charge (or are covered);
+    # least fixpoint, so call cycles stay conservatively uncovered.
+    covered: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for fq, callers in graph.redges.items():
+            if fq in covered or fq in charges or not callers:
+                continue
+            if all(c in charges or c in covered for c in callers):
+                covered.add(fq)
+                changed = True
+    facts.covered_by_callers = covered
+
+    # ------------------------------------------------------------------
+    # Lease-returning functions
+    # ------------------------------------------------------------------
+    returners: set[str] = set()
+    for summary in project.modules.values():
+        for site in summary.lease_sites:
+            if site["disposition"] == "returned":
+                returners.add(graph.caller_node(summary, site["caller"]))
+    # propagate through wrappers: f returning g()'s value where g
+    # returns a lease is itself a lease returner.
+    changed = True
+    while changed:
+        changed = False
+        for summary in project.modules.values():
+            for call in summary.calls:
+                if call["use"] != "returned":
+                    continue
+                if call.get("resolution") != "internal":
+                    continue
+                caller = graph.caller_node(summary, call["caller"])
+                if caller in returners:
+                    continue
+                if any(t in returners for t in call.get("targets", ())):
+                    returners.add(caller)
+                    changed = True
+    # `MemoryAccountant.lease` itself constructs-and-returns the lease:
+    # it is the primordial returner, but call sites on it are already
+    # classified as lease sites, so it is excluded from the call-site
+    # scan the rule performs (see rules_lease).
+    facts.lease_returners = returners
+    return facts

@@ -161,7 +161,14 @@ class ModuleContext:
         return self.subsystem in ALGORITHM_SUBSYSTEMS
 
     def is_suppressed(self, finding: LintFinding) -> bool:
-        """True when a same-line directive silences this finding."""
+        """True when a same-line directive silences this finding.
+
+        ``SYNTAX`` findings are never silenceable: a module that does
+        not parse cannot be analyzed by any rule, so waving the parse
+        error through would disable the whole gate for that file.
+        """
+        if finding.rule == "SYNTAX":
+            return False
         if finding.line not in self.suppressions:
             return False
         rules = self.suppressions[finding.line]
@@ -171,9 +178,12 @@ class ModuleContext:
 class LintRule:
     """Base class for emlint rules.
 
-    Subclasses set the class attributes and implement :meth:`check`,
-    yielding findings for one parsed module.  Registration happens via
-    the :func:`register` decorator, which keys the rule by ``rule_id``.
+    Module rules (``scope == "module"``) implement :meth:`check`,
+    yielding findings for one parsed module.  Whole-program rules
+    (``scope == "project"``) implement :meth:`check_project`, consuming
+    the interprocedural :class:`~repro.lint.dataflow.DataflowFacts` built
+    over every module in the run.  Registration happens via the
+    :func:`register` decorator, which keys the rule by ``rule_id``.
     """
 
     rule_id: str = ""
@@ -182,9 +192,21 @@ class LintRule:
     #: catalog is generated from these).
     rationale: str = ""
     severity: str = "error"
+    #: "module" = per-AST rule (cacheable per content hash);
+    #: "project" = needs the call graph / dataflow facts.
+    scope: str = "module"
 
     def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
-        raise NotImplementedError
+        if self.scope == "module":
+            raise NotImplementedError
+        return ()
+
+    def check_project(self, facts) -> Iterable[LintFinding]:
+        """Whole-program pass (``facts``:
+        :class:`~repro.lint.dataflow.DataflowFacts`)."""
+        if self.scope == "project":
+            raise NotImplementedError
+        return ()
 
     def finding(
         self, ctx: ModuleContext, node: ast.AST, message: str
@@ -194,6 +216,20 @@ class LintRule:
             path=ctx.relpath,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+    def finding_at(
+        self, relpath: str, line: int, col: int, message: str
+    ) -> LintFinding:
+        """Build a finding from explicit coordinates (project rules
+        anchor on summary records, not live AST nodes)."""
+        return LintFinding(
+            path=relpath,
+            line=line,
+            col=col,
             rule=self.rule_id,
             message=message,
             severity=self.severity,
@@ -241,6 +277,8 @@ def _ensure_loaded() -> None:
         rules_cpu,
         rules_kernel,
         rules_lease,
+        rules_protocol,
+        rules_registry,
         rules_rng,
         rules_shard,
     )
@@ -271,13 +309,32 @@ def lint_source(
                 message=f"module does not parse: {exc.msg}",
             )
         ], []
+    rules = all_rules() if rules is None else list(rules)
     active: list[LintFinding] = []
     suppressed: list[LintFinding] = []
-    for rule in (all_rules() if rules is None else rules):
+    for rule in rules:
+        if rule.scope != "module":
+            continue
         for finding in rule.check(ctx):
             (suppressed if ctx.is_suppressed(finding) else active).append(
                 finding
             )
+    project_rules = [r for r in rules if r.scope == "project"]
+    if project_rules:
+        # Whole-program rules over a one-module "project": unresolved
+        # calls fall back to name heuristics, which is what keeps
+        # single-module fixtures meaningful.
+        from .callgraph import CallGraph
+        from .dataflow import compute_facts
+        from .project import ProjectIndex, summarize_module
+
+        project = ProjectIndex([summarize_module(ctx)])
+        facts = compute_facts(project, CallGraph(project))
+        for rule in project_rules:
+            for finding in rule.check_project(facts):
+                (
+                    suppressed if ctx.is_suppressed(finding) else active
+                ).append(finding)
     return sorted(active), sorted(suppressed)
 
 

@@ -1,4 +1,4 @@
-"""R3 — comparison-counting rule.
+"""R3 — comparison-counting rule (v2: interprocedural).
 
 The paper's model is comparison-based: alongside block transfers, the
 simulator charges key comparisons through the
@@ -7,26 +7,42 @@ simulator charges key comparisons through the
 raw ``np.sort``/``sorted()``/record ``<`` in algorithm code performs
 comparisons the counter never sees.
 
-The rule works at *function granularity*: a comparison sink inside a
-function that also charges comparisons somewhere is assumed to be the
-operation the charge pays for (matching the codebase convention of one
-``cmp_*`` call per vectorized numpy step).  Only functions that compare
-without charging anything are flagged.
+v1 worked at *function granularity*: a sink was clean iff the same
+function body mentioned a charge-looking name.  That had two systematic
+errors, both fixed by running over the project call graph
+(:mod:`repro.lint.dataflow`):
+
+* **false positives** — a pure helper whose *callers* charge (the
+  ``_group_medians`` pattern) needed a suppression; v2 clears it via
+  ``covered_by_callers``, and clears helpers that charge *transitively*
+  (the charge lives two calls down) via ``reaches_charge``.
+* **false negatives** — any local ``def cmp_sort(...)`` shadow excused a
+  sink by name alone; v2 resolves the call, and a resolved target that
+  never reaches ``Machine.charge_comparisons`` does not count.  Only
+  genuinely *unresolved* calls keep the name heuristic (which is what
+  keeps single-module fixtures analyzable).
+
+The sink extraction itself (which calls/compares count as record
+comparisons) lives in :func:`repro.lint.project.summarize_module`; this
+module keeps the shared marker sets for reference and for the tests.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterable
 
-from .engine import LintRule, ModuleContext, register
+from .engine import LintRule, register
 from .findings import LintFinding
+
+# Sink/record detection now lives with the summary extractor; re-export
+# the helpers other rule modules (R6) build on.
+from .project import _is_np_attr, _mentions_records  # noqa: F401
 
 __all__ = ["RawComparisonRule"]
 
 #: Functions that perform key comparisons without charging them.
 _SINK_FUNCS = frozenset(
-    {"sorted", "min", "max"}  # builtins over record arrays — see _is_record
+    {"sorted", "min", "max"}  # builtins over record arrays
 )
 _SINK_NP_ATTRS = frozenset(
     {
@@ -49,41 +65,6 @@ _CHARGE_FUNCS = frozenset(
 _RECORD_MARKERS = frozenset({"composite", "composite_of"})
 
 
-def _is_np_attr(func: ast.AST) -> bool:
-    """True for ``np.<attr>`` / ``numpy.<attr>`` attribute functions."""
-    return (
-        isinstance(func, ast.Attribute)
-        and isinstance(func.value, ast.Name)
-        and func.value.id in ("np", "numpy")
-    )
-
-
-def _mentions_records(node: ast.AST) -> bool:
-    """True when the expression involves record composites or keys."""
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Call):
-            f = sub.func
-            name = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
-            if name in _RECORD_MARKERS:
-                return True
-        elif isinstance(sub, ast.Subscript):
-            sl = sub.slice
-            if isinstance(sl, ast.Constant) and sl.value in ("key", "uid"):
-                return True
-    return False
-
-
-def _charges(scope: ast.AST) -> bool:
-    """Does this function (or module) scope charge comparisons?"""
-    for node in ast.walk(scope):
-        if isinstance(node, ast.Call):
-            f = node.func
-            name = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
-            if name in _CHARGE_FUNCS:
-                return True
-    return False
-
-
 @register
 class RawComparisonRule(LintRule):
     """R3: record comparisons must be charged to the comparison counter."""
@@ -95,73 +76,35 @@ class RawComparisonRule(LintRule):
         "claims (decision-tree lower bounds, Θ(N·lg K) internal work) "
         "are checked against the machine's comparison counter.  A "
         "`np.sort`/`sorted()`/`sort_records` call — or a raw `<`/`<=` "
-        "over record composites — in a function that never calls a "
-        "`cmp_*` helper or `charge_comparisons` performs comparisons "
-        "the counter misses."
+        "over record composites — is clean only when the enclosing "
+        "function provably reaches `Machine.charge_comparisons` (a "
+        "`cmp_*` helper, directly or through callees), or when every "
+        "resolved caller does (the pure-helper-whose-callers-pay "
+        "pattern).  Anything else performs comparisons the counter "
+        "misses."
     )
+    scope = "project"
 
-    def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
-        if not ctx.in_algorithm_layer or ctx.is_test:
-            return
-        charged: dict[ast.AST, bool] = {}
-
-        def scope_charges(node: ast.AST) -> bool:
-            scope = ctx.enclosing_function(node)
-            if scope not in charged:
-                charged[scope] = _charges(scope)
-            return charged[scope]
-
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call):
-                sink = self._call_sink(node)
-                if sink is not None and not scope_charges(node):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"`{sink}` compares records but the enclosing "
-                        f"function never charges comparisons (pair it "
-                        f"with a `cmp_*` helper or `charge_comparisons`)",
-                    )
-            elif isinstance(node, ast.Compare):
-                if not any(
-                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
-                    for op in node.ops
-                ):
+    def check_project(self, facts) -> Iterable[LintFinding]:
+        for summary in facts.project.modules.values():
+            for sink in summary.cmp_sinks:
+                fq = facts.graph.caller_node(summary, sink["caller"])
+                if facts.charge_verdict(fq) is not None:
                     continue
-                operands = [node.left, *node.comparators]
-                if not any(_mentions_records(o) for o in operands):
-                    continue
-                if not scope_charges(node):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        "raw order comparison over record keys/composites "
-                        "in a function that never charges comparisons",
-                    )
-
-    @staticmethod
-    def _call_sink(node: ast.Call) -> str | None:
-        """The sink name if this call performs uncharged comparisons
-        over record data, else None."""
-        func = node.func
-        if isinstance(func, ast.Name):
-            if func.id in _SINK_HELPERS:
-                return func.id
-            if func.id in _SINK_FUNCS and any(
-                _mentions_records(a) for a in node.args
-            ):
-                return func.id
-            return None
-        if _is_np_attr(func) and func.attr in _SINK_NP_ATTRS:
-            # np.searchsorted & friends over plain index arithmetic are
-            # bookkeeping; only record-bearing operands are model cost.
-            if any(_mentions_records(a) for a in node.args) or any(
-                _mentions_records(kw.value) for kw in node.keywords
-            ):
-                return f"np.{func.attr}"
-            return None
-        if isinstance(func, ast.Attribute) and func.attr == "sort":
-            # list/ndarray .sort() — flag only record-bearing receivers.
-            if _mentions_records(func.value):
-                return ".sort()"
-        return None
+                where = (
+                    f"`{sink['caller']}`" if sink["caller"]
+                    else "module scope"
+                )
+                if sink["sink"] == "<compare>":
+                    what = "raw order comparison over record keys/composites"
+                else:
+                    what = f"`{sink['sink']}` compares records"
+                yield self.finding_at(
+                    summary.relpath,
+                    sink["line"],
+                    sink["col"],
+                    f"{what} but {where} neither reaches "
+                    f"`charge_comparisons` on any call path nor is "
+                    f"covered by charging callers (pair it with a "
+                    f"`cmp_*` helper)",
+                )

@@ -1,10 +1,9 @@
-"""R5 — lease-lifecycle rule.
+"""R5 — lease-lifecycle rule (v2: cross-function escape analysis).
 
 ``MemoryAccountant.lease`` reserves part of the model's memory ``M``;
 a lease that is never released keeps shrinking the budget every caller
 sees (``Machine.load_limit``), so composed algorithms mysteriously run
-out of memory.  The static rule enforces the two exception-safe
-idioms::
+out of memory.  The exception-safe idioms::
 
     with machine.memory.lease(size, "label"):
         ...
@@ -15,58 +14,41 @@ idioms::
     finally:
         lease.release()
 
-Leases stored on object attributes (``self._lease = ...``) are the
-third, object-lifecycle idiom; they are exempt here because the dynamic
-sanitizer's teardown check (:meth:`Machine.close
-<repro.em.machine.Machine.close>`) catches the leak at runtime instead.
+v1 stopped at the acquiring function's boundary: a lease stored on
+``self`` was exempt wholesale (deferred to the runtime sanitizer), and a
+lease *returned* to the caller — or acquired via a wrapper function —
+was invisible.  v2 follows the lease across functions using the module
+summaries and dataflow facts:
+
+* **attribute storage** — ``self._lease = ...`` is clean only if some
+  method of the class (or a project-resolvable ancestor/descendant)
+  releases or context-exits that attribute; a write-only attribute is a
+  structural leak and is flagged.
+* **returned leases** — the acquiring function becomes a
+  *lease-returner* (:attr:`DataflowFacts.lease_returners`, closed under
+  wrapper propagation), and every call site on a returner is held to the
+  same discipline as a direct ``.lease(...)`` call.
+* **passed-on leases** — a lease handed to another function is clean
+  only when some candidate callee provably releases a parameter.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterable
 
-from .engine import LintRule, ModuleContext, register
+from .engine import LintRule, register
 from .findings import LintFinding
 
 __all__ = ["LeaseLifecycleRule"]
 
-
-def _released_in_finally(scope: ast.AST, var: str) -> bool:
-    """Does any ``finally`` block in ``scope`` call ``var.release()``?"""
-    for node in ast.walk(scope):
-        if not isinstance(node, ast.Try):
-            continue
-        for stmt in node.finalbody:
-            for sub in ast.walk(stmt):
-                if (
-                    isinstance(sub, ast.Call)
-                    and isinstance(sub.func, ast.Attribute)
-                    and sub.func.attr == "release"
-                    and isinstance(sub.func.value, ast.Name)
-                    and sub.func.value.id == var
-                ):
-                    return True
-    return False
-
-
-def _entered_as_context(scope: ast.AST, var: str) -> bool:
-    """Is ``var`` later used as a context manager (``with var:``)?"""
-    for node in ast.walk(scope):
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if (
-                    isinstance(item.context_expr, ast.Name)
-                    and item.context_expr.id == var
-                ):
-                    return True
-    return False
+#: Dispositions that need no further argument.
+_CLEAN = frozenset({"with", "finally", "context", "returned"})
 
 
 @register
 class LeaseLifecycleRule(LintRule):
-    """R5: every lease is a context manager, released in a ``finally``,
-    or owned by an object (attribute assignment)."""
+    """R5: every lease is provably released on all paths — via ``with``,
+    a ``finally``, a released attribute, or a releasing callee."""
 
     rule_id = "R5"
     title = "leases need an exception-safe release"
@@ -77,46 +59,118 @@ class LeaseLifecycleRule(LintRule):
         "`MemoryBudgetError`s and, worse, of algorithms silently "
         "switching to more I/O-expensive small-memory code paths.  An "
         "exception between `lease()` and `release()` must not leak: use "
-        "`with`, or release in a `finally`.  Attribute-stored leases "
-        "(`self._lease = ...`) follow the owning object's lifecycle and "
-        "are checked at runtime by the sanitizer's teardown scan."
+        "`with`, release in a `finally`, store on an object whose class "
+        "demonstrably releases the attribute, or hand it to a callee "
+        "that releases it.  Functions *returning* a lease transfer the "
+        "obligation to their call sites, which this rule checks under "
+        "the same discipline."
     )
+    scope = "project"
 
-    def check(self, ctx: ModuleContext) -> Iterable[LintFinding]:
-        if ctx.is_test:
-            return
-        for node in ast.walk(ctx.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "lease"
-            ):
+    def check_project(self, facts) -> Iterable[LintFinding]:
+        project = facts.project
+        for summary in project.modules.values():
+            if summary.is_test:
                 continue
-            parent = ctx.parent(node)
-            # `with ....lease(...) as x:` / `with ....lease(...):`
-            if isinstance(parent, ast.withitem):
-                continue
-            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
-                target = parent.targets[0]
-                if isinstance(target, ast.Attribute):
-                    continue  # object-lifecycle idiom (runtime-checked)
-                if isinstance(target, ast.Name):
-                    scope = ctx.enclosing_function(node)
-                    if _released_in_finally(scope, target.id):
-                        continue
-                    if _entered_as_context(scope, target.id):
-                        continue
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"lease assigned to `{target.id}` is neither used "
-                        f"as a context manager nor released in a "
-                        f"`finally`; an exception here leaks the memory",
-                    )
+            for site in summary.lease_sites:
+                yield from self._judge(
+                    project, summary,
+                    line=site["line"], col=site["col"],
+                    disposition=site["disposition"],
+                    cls=site.get("class"), var=site.get("var"),
+                    attr=site.get("attr"), passed_to=site.get("passed_to"),
+                    origin="lease",
+                )
+            # call sites on lease-returning functions get the same
+            # treatment: the callee transferred the release obligation.
+            for call in summary.calls:
+                if call["name"] == "lease":
+                    continue  # direct acquisition — already a lease site
+                if call.get("resolution") != "internal":
                     continue
-            yield self.finding(
-                ctx,
-                node,
-                "lease result must be held in a `with`, released in a "
-                "`finally`, or stored on an owning object",
+                if not any(
+                    t in facts.lease_returners
+                    for t in call.get("targets", ())
+                ):
+                    continue
+                caller = call["caller"]
+                cls = caller.split(".")[0] if "." in caller else None
+                disposition = {
+                    "with": "with",
+                    "returned": "returned",
+                    "attr": "attr",
+                    "assigned": call.get("disp") or "local",
+                    "discarded": "bare",
+                }.get(call["use"], "other")
+                yield from self._judge(
+                    project, summary,
+                    line=call["line"], col=call["col"],
+                    disposition=disposition,
+                    cls=cls, var=call.get("var"), attr=call.get("attr"),
+                    passed_to=None,
+                    origin=f"lease-returning `{call['name']}()`",
+                )
+
+    # ------------------------------------------------------------------
+    def _judge(
+        self, project, summary, *, line, col, disposition, cls, var,
+        attr, passed_to, origin,
+    ) -> Iterable[LintFinding]:
+        if disposition in _CLEAN:
+            return
+        if disposition == "attr":
+            if attr and project.attr_released(
+                summary.module_name, cls, attr
+            ):
+                return
+            holder = f"self.{attr}" if attr else "an attribute"
+            yield self.finding_at(
+                summary.relpath, line, col,
+                f"{origin} stored on {holder} but no method of "
+                f"`{cls or '?'}` (or a related class) ever releases or "
+                f"context-exits it — a write-only lease attribute is a "
+                f"structural leak",
             )
+            return
+        if disposition == "passed":
+            if passed_to and self._callee_releases(project, passed_to):
+                return
+            yield self.finding_at(
+                summary.relpath, line, col,
+                f"{origin} assigned to `{var}` is passed to "
+                f"`{passed_to}()` which does not provably release it; "
+                f"release in a `finally` here or make the callee own it",
+            )
+            return
+        if disposition == "local":
+            yield self.finding_at(
+                summary.relpath, line, col,
+                f"{origin} assigned to `{var}` is neither used as a "
+                f"context manager nor released in a `finally`; an "
+                f"exception here leaks the memory",
+            )
+            return
+        if disposition == "bare":
+            yield self.finding_at(
+                summary.relpath, line, col,
+                f"{origin} result is discarded on the spot — the "
+                f"reservation can never be released",
+            )
+            return
+        yield self.finding_at(
+            summary.relpath, line, col,
+            f"{origin} result must be held in a `with`, released in a "
+            f"`finally`, returned, or stored on an owning object",
+        )
+
+    @staticmethod
+    def _callee_releases(project, callee: str) -> bool:
+        """Does some project function named ``callee`` release one of
+        its parameters on all paths?  (Name-level over-approximation —
+        sound in the clean direction only if naming is unambiguous,
+        which the golden corpus pins.)"""
+        for s in project.modules.values():
+            for qual, params in s.releases_params.items():
+                if qual.split(".")[-1] == callee and params:
+                    return True
+        return False

@@ -1,0 +1,124 @@
+"""R8 — shard request/reply protocol conformance.
+
+The sharded partition service speaks a small message protocol: the
+router (:mod:`repro.shard.router`) sends ``(kind, payload)`` requests
+over duplex pipes and :meth:`ShardWorker._handle
+<repro.shard.worker.ShardWorker>` dispatches on ``kind``, replying with
+``(reply_kind, payload)``.  The two sides are separate modules edited
+separately, and a drifted kind string fails only at runtime — inside a
+worker *process*, where the traceback surfaces as an opaque ``("error",
+...)`` reply.
+
+This rule statically extracts both sides from the ASTs (the
+``proto`` facts in each module's summary — see
+:func:`repro.lint.project.summarize_module`) and cross-checks them:
+
+* a request kind some sender emits but the worker has no ``kind ==
+  "..."`` branch for (runtime rejection);
+* a handler branch no code path ever sends (dead protocol arm — usually
+  a renamed kind whose sender was updated and handler was not);
+* drift between the worker docstring's protocol table and the code:
+  undocumented kinds, documented-but-unhandled kinds, and reply kinds
+  that do not match what the handler actually returns.
+
+Modules other than ``shard/router.py``/``shard/worker.py`` produce no
+``proto`` facts, so the rule is inert on fixtures and ordinary code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .engine import LintRule, register
+from .findings import LintFinding
+
+__all__ = ["ShardProtocolRule"]
+
+
+@register
+class ShardProtocolRule(LintRule):
+    """R8: router sends, worker handlers, and the documented protocol
+    table must agree kind-for-kind."""
+
+    rule_id = "R8"
+    title = "shard request/reply protocol must be closed"
+    rationale = (
+        "Router and worker are separate modules around a pickled-tuple "
+        "pipe protocol; nothing at import time checks that every "
+        "request kind the router emits has a worker branch, or that "
+        "every branch is reachable.  A drifted kind string turns into "
+        "an `(\"error\", ...)` reply from inside a worker process — the "
+        "least debuggable failure mode the service has.  Extracting "
+        "both sides from the ASTs makes the protocol a closed, "
+        "lint-checked surface, including the docstring table users "
+        "read."
+    )
+    scope = "project"
+
+    def check_project(self, facts) -> Iterable[LintFinding]:
+        worker = router = None
+        for s in facts.project.modules.values():
+            rel = s.relpath.replace("\\", "/")
+            if rel.endswith("shard/worker.py"):
+                worker = s
+            elif rel.endswith("shard/router.py"):
+                router = s
+        if worker is None or not worker.proto.get("handles"):
+            return
+        handles: dict = worker.proto["handles"]
+        replies: dict = worker.proto.get("replies", {})
+        doc: dict = worker.proto.get("doc_table", {})
+
+        sends: dict[str, list] = {}
+        for s in (router, worker):
+            if s is None:
+                continue
+            for kind, lines in s.proto.get("sends", {}).items():
+                for ln in lines:
+                    sends.setdefault(kind, []).append((s.relpath, ln))
+
+        for kind in sorted(sends):
+            if kind in handles:
+                continue
+            for rel, ln in sends[kind]:
+                yield self.finding_at(
+                    rel, ln, 0,
+                    f'request kind "{kind}" is sent here but '
+                    f"`ShardWorker._handle` has no branch for it — the "
+                    f"worker will reject it at runtime",
+                )
+        for kind in sorted(handles):
+            if kind not in sends:
+                yield self.finding_at(
+                    worker.relpath, handles[kind], 0,
+                    f'worker handles request kind "{kind}" that no '
+                    f"code path ever sends (dead protocol arm — renamed "
+                    f"sender?)",
+                )
+
+        if not doc:
+            return
+        for kind in sorted(handles):
+            if kind not in doc:
+                yield self.finding_at(
+                    worker.relpath, handles[kind], 0,
+                    f'request kind "{kind}" is handled but missing from '
+                    f"the module docstring's protocol table",
+                )
+        for kind in sorted(doc):
+            if kind not in handles:
+                yield self.finding_at(
+                    worker.relpath, 1, 0,
+                    f'protocol table documents request kind "{kind}" '
+                    f"that the worker does not handle",
+                )
+        for kind in sorted(doc):
+            want = doc[kind]
+            got = replies.get(kind)
+            if got and want not in got:
+                yield self.finding_at(
+                    worker.relpath, handles.get(kind, 1), 0,
+                    f'protocol table says "{kind}" replies '
+                    f'"{want}" but the handler returns '
+                    f"{', '.join(sorted(set(got)))}",
+                )

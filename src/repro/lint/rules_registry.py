@@ -1,0 +1,146 @@
+"""R9 — registry consistency: solvers ⇔ budgets ⇔ formulas ⇔ phases.
+
+The observability stack cross-references three artifacts by name:
+
+* ``repro.obs.solvers.SOLVERS`` — each ``Solver(...)`` entry names the
+  experiment and the bound formula(s) that predict it;
+* ``benchmarks/budgets.json`` — the per-solver I/O envelopes the budget
+  gate enforces in CI;
+* ``repro.bounds.formulas`` — the closed-form functions the envelopes
+  and plots are computed from.
+
+A registry entry whose budget envelope or formula is missing fails only
+when that particular experiment is *run* — typically in CI, hours after
+the rename that broke it.  This rule checks the whole triangle
+statically from the module summaries (plus one ``json.load``), and
+additionally validates every constant phase label against the phase
+grammar (:meth:`Disk.phase <repro.em.disk.Disk>` rejects ``"/"`` in a
+label at runtime, because ``"/"`` is the hierarchy separator in
+``phase_path``).
+
+On fixture corpora without a solvers module only the phase-label check
+is live.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .engine import LintRule, register
+from .findings import LintFinding
+
+__all__ = ["RegistryConsistencyRule"]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@register
+class RegistryConsistencyRule(LintRule):
+    """R9: every solver has a budget envelope and a real formula; every
+    constant phase label parses as a valid phase-path component."""
+
+    rule_id = "R9"
+    title = "solver registry, budgets, formulas, and phase labels agree"
+    rationale = (
+        "The experiment registry is stringly-typed three ways: "
+        "`SOLVERS` names must key into `benchmarks/budgets.json`, "
+        "`formula_name` expressions must reference functions in "
+        "`repro.bounds.formulas`, and phase labels must satisfy the "
+        "phase grammar (no `/`, non-empty) or `Disk.phase` raises at "
+        "runtime.  Each of these breaks only when the specific "
+        "experiment runs — usually in CI after a rename.  Checking the "
+        "triangle statically turns an hours-later CI failure into a "
+        "lint finding on the line that drifted."
+    )
+    scope = "project"
+
+    def check_project(self, facts) -> Iterable[LintFinding]:
+        project = facts.project
+
+        # -- phase-label grammar (all modules) -------------------------
+        for s in project.modules.values():
+            if s.is_test:
+                continue
+            for ph in s.phase_labels:
+                if ph.get("dynamic"):
+                    continue  # computed label — runtime check owns it
+                label = ph.get("label")
+                if label is None:
+                    yield self.finding_at(
+                        s.relpath, ph["line"], ph["col"],
+                        "phase label is a non-string constant",
+                    )
+                elif "/" in label:
+                    yield self.finding_at(
+                        s.relpath, ph["line"], ph["col"],
+                        f"phase label {label!r} contains '/' — the "
+                        f"phase-path separator; `Disk.phase` rejects it "
+                        f"at runtime",
+                    )
+                elif not label.strip():
+                    yield self.finding_at(
+                        s.relpath, ph["line"], ph["col"],
+                        "phase label is empty/whitespace",
+                    )
+
+        # -- solver registry triangle ----------------------------------
+        solvers = project.modules.get("repro.obs.solvers")
+        if solvers is None or not solvers.solver_entries:
+            return
+        formulas = project.modules.get("repro.bounds.formulas")
+        formula_names = (
+            {q for q in formulas.functions if "." not in q}
+            if formulas is not None
+            else None
+        )
+        budgets = self._budget_names(project)
+
+        names: set[str] = set()
+        for entry in solvers.solver_entries:
+            name = entry.get("name")
+            if name is None:
+                continue  # dynamically built entry — out of scope
+            names.add(name)
+            if budgets is not None and name not in budgets:
+                yield self.finding_at(
+                    solvers.relpath, entry["line"], 0,
+                    f'solver "{name}" has no envelope in '
+                    f"benchmarks/budgets.json — the budget gate "
+                    f"silently skips it",
+                )
+            formula = entry.get("formula_name")
+            if formula and formula_names is not None:
+                for ident in _IDENT_RE.findall(formula):
+                    if ident not in formula_names:
+                        yield self.finding_at(
+                            solvers.relpath, entry["line"], 0,
+                            f'solver "{name}" references formula '
+                            f"`{ident}` which repro.bounds.formulas "
+                            f"does not define",
+                        )
+        if budgets:
+            anchor = solvers.solver_entries[0]["line"]
+            for extra in sorted(budgets - names):
+                yield self.finding_at(
+                    solvers.relpath, anchor, 0,
+                    f'budgets.json has an envelope for "{extra}" but no '
+                    f"solver registers that name (stale entry?)",
+                )
+
+    @staticmethod
+    def _budget_names(project) -> set[str] | None:
+        """Solver names keyed in benchmarks/budgets.json, or None when
+        the file is not locatable (fixture corpora)."""
+        root = project.root
+        if root is None:
+            return None
+        path = Path(root).parent / "benchmarks" / "budgets.json"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        budgets = data.get("budgets")
+        return set(budgets) if isinstance(budgets, dict) else None

@@ -11,19 +11,19 @@ experiment runner's serial/parallel split.
 
 Request kinds (coordinator → worker), with reply kinds in parentheses:
 
-========== =============================== ==========================
-kind        payload                         reply
-========== =============================== ==========================
-ingest      record array chunk              ok: records so far
-seal        leaf-target ``k``               sealed: shard size ``n``
-select      local 1-based rank array        records: record array
-range_count ``(lo_key, hi_key)``            count: int
-part        key                             leaf: local leaf index
-nleaves     --                              nleaves: current leaf count
-pivots      ``n_pivots``                    pivots: candidate records
-io_stats    --                              io_stats: counter dict
-shutdown    --                              bye
-========== =============================== ==========================
+============ =============================== ==========================
+kind         payload                         reply
+============ =============================== ==========================
+ingest       record array chunk              ok: records so far
+seal         leaf-target ``k``               sealed: shard size ``n``
+select       local 1-based rank array        records: record array
+range_count  ``(lo_key, hi_key)``            count: int
+part         key                             leaf: local leaf index
+nleaves      --                              nleaves: current leaf count
+pivots       ``n_pivots``                    pivots: candidate records
+io_stats     --                              io_stats: counter dict
+shutdown     --                              bye
+============ =============================== ==========================
 
 Every reply carries the worker's measured ``(reads, writes,
 comparisons)`` delta for receiving and handling the request (the

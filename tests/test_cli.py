@@ -421,8 +421,22 @@ class TestLintCli:
         assert main(["lint", "--rule", "R4,R5", str(bad)]) == 0
 
     def test_lint_unknown_rule(self, capsys):
-        assert main(["lint", "--rule", "R9"]) == 2
+        assert main(["lint", "--rule", "R99"]) == 2
         assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_diff_unknown_ref(self, capsys):
+        assert main(["lint", "--diff", "no-such-ref-xyz"]) == 2
+        assert "cannot resolve" in capsys.readouterr().err
+
+    def test_lint_baseline_suppresses_known_findings(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "alg" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    return np.random.rand()\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        baseline = tmp_path / "base.json"
+        baseline.write_text(capsys.readouterr().out)
+        assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
 
 
 class TestSanitizeCheckCli:

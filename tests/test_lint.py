@@ -1,24 +1,35 @@
 """AST lint engine tests: one positive and one negative fixture per
-rule, suppression directives, rule selection, report output, and the
-repo-wide gate itself.  R7 (shard isolation) fixtures live with the
-subsystem they guard, in ``tests/test_shard.py``.
+rule, the v2 whole-program layer (call graph, dataflow, cache), seeded
+defects the v1 heuristics missed, suppression directives and their edge
+cases, rule selection, report output, and the repo-wide gate itself.
+R7 (shard isolation) fixtures live with the subsystem they guard, in
+``tests/test_shard.py``.
 """
 
 from __future__ import annotations
 
 import json
 import textwrap
+from collections import Counter
 
 import pytest
 
 from repro.lint import (
     ALGORITHM_SUBSYSTEMS,
     EM_LAYER_SUBSYSTEMS,
+    CallGraph,
     LintFinding,
+    LintReport,
+    ModuleContext,
+    ProjectIndex,
     all_rules,
+    baseline_delta,
+    compute_facts,
     get_rules,
+    git_changed_files,
     lint_paths,
     lint_source,
+    summarize_module,
 )
 
 ALG_PATH = "repro/alg/fixture.py"
@@ -36,22 +47,42 @@ def _rule_ids(findings):
     return [f.rule for f in findings]
 
 
+def _project_findings(files: dict, rule_id: str):
+    """Run one project rule over a multi-module fixture corpus."""
+    summaries = [
+        summarize_module(
+            ModuleContext.from_source(textwrap.dedent(src), rel)
+        )
+        for rel, src in files.items()
+    ]
+    project = ProjectIndex(summaries)
+    facts = compute_facts(project, CallGraph(project))
+    (rule,) = get_rules([rule_id])
+    return sorted(rule.check_project(facts))
+
+
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert [r.rule_id for r in all_rules()] == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
         ]
 
     def test_get_rules_subset_and_case(self):
         assert [r.rule_id for r in get_rules(["r3", "R1"])] == ["R3", "R1"]
 
     def test_get_rules_unknown_raises(self):
-        with pytest.raises(KeyError, match="R9"):
-            get_rules(["R9"])
+        with pytest.raises(KeyError, match="R99"):
+            get_rules(["R99"])
 
     def test_rules_carry_rationales(self):
         for rule in all_rules():
             assert rule.title and len(rule.rationale) > 40
+
+    def test_project_rules_are_marked(self):
+        scopes = {r.rule_id: r.scope for r in all_rules()}
+        assert scopes["R3"] == scopes["R5"] == "project"
+        assert scopes["R8"] == scopes["R9"] == "project"
+        assert scopes["R1"] == scopes["R4"] == "module"
 
     def test_layer_constants(self):
         assert "alg" in ALGORITHM_SUBSYSTEMS and "em" in EM_LAYER_SUBSYSTEMS
@@ -156,6 +187,60 @@ class TestR3RawComparisons:
         assert not _active(src, "repro/workloads/gen.py")
 
 
+class TestR3Interprocedural:
+    """The dataflow upgrades: what v1 could not see."""
+
+    def test_helper_covered_by_charging_caller(self):
+        # v1 needed a suppression here; v2 clears the pure helper
+        # because its only caller charges.
+        src = """
+            def helper(records):
+                return np.sort(composite(records))
+
+            def caller(machine, records):
+                cmp_sort(machine, len(records))
+                return helper(records)
+            """
+        assert not _active(src)
+
+    def test_transitive_charge_through_callee(self):
+        src = """
+            def charge(machine, n):
+                cmp_sort(machine, n)
+
+            def f(machine, records):
+                charge(machine, len(records))
+                return np.sort(composite(records))
+            """
+        assert not _active(src)
+
+    def test_seeded_defect_local_shadow_does_not_charge(self):
+        # v1 false negative: a local `cmp_sort` shadow excused the sink
+        # by name.  v2 resolves the call to the shadow, sees it never
+        # reaches the machine, and flags the sink.
+        src = """
+            def cmp_sort(machine, n):
+                return n  # never touches the machine
+
+            def f(machine, records):
+                cmp_sort(machine, len(records))
+                return np.sort(composite(records))
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R3"
+
+    def test_uncharged_helper_with_uncharged_caller_still_flagged(self):
+        src = """
+            def helper(records):
+                return np.sort(composite(records))
+
+            def caller(records):
+                return helper(records)
+            """
+        findings = _active(src)
+        assert _rule_ids(findings) == ["R3"]
+
+
 class TestR4UnseededRng:
     def test_positive_stdlib_random(self):
         (finding,) = _active("def f():\n    return random.random()\n")
@@ -180,6 +265,31 @@ class TestR4UnseededRng:
         src = "def f():\n    return np.random.rand()\n"
         assert _rule_ids(_active(src, "repro/em/helper.py")) == ["R4"]
         assert _rule_ids(_active(src, "repro/obs/helper.py")) == ["R4"]
+
+    def test_applies_to_scripts_and_benchmarks(self):
+        # Experiment drivers shape recorded results just as much as the
+        # package; the default lint set includes both trees.
+        src = "def f():\n    return np.random.rand()\n"
+        assert _rule_ids(_active(src, "scripts/gen_data.py")) == ["R4"]
+        assert _rule_ids(_active(src, "benchmarks/test_bench.py")) == ["R4"]
+
+    def test_default_lint_set_includes_scripts_and_benchmarks(self):
+        report = lint_paths()
+        # the repo gate actually walked files outside src/repro
+        prefixes = {f.split("/")[0] for f in _repo_file_set(report)}
+        assert {"scripts", "benchmarks"} <= prefixes
+
+
+def _repo_file_set(report):
+    # files aren't carried per-path in the report; re-derive from the
+    # default discovery to keep this assertion independent.
+    from repro.lint import default_lint_paths, default_root, iter_python_files
+    root = default_root()
+    from repro.lint.runner import _relpath
+    return [
+        _relpath(f, root)
+        for f in iter_python_files(default_lint_paths(root))
+    ]
 
 
 class TestR5LeaseLifecycle:
@@ -225,17 +335,111 @@ class TestR5LeaseLifecycle:
             """
         assert not _active(src)
 
-    def test_negative_attribute_storage(self):
+    def test_negative_attribute_storage_with_release(self):
         src = """
             class Index:
                 def __init__(self, machine):
                     self._lease = machine.memory.lease(8, "idx")
+
+                def close(self):
+                    self._lease.release()
             """
         assert not _active(src)
 
     def test_negative_in_tests(self):
         src = "def f(m):\n    m.memory.lease(8, 'x')\n"
         assert not _active(src, "repro/em/tests/test_x.py")
+
+
+class TestR5Interprocedural:
+    """v2: the lease is followed across functions and classes."""
+
+    def test_seeded_defect_write_only_attribute_leaks(self):
+        # v1 exempted every attribute store; v2 demands the class (or a
+        # relative) provably release the attribute.
+        src = """
+            class Index:
+                def __init__(self, machine):
+                    self._lease = machine.memory.lease(8, "idx")
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R5" and "write-only" in finding.message
+
+    def test_attribute_released_in_subclass_is_clean(self):
+        src = """
+            class Base:
+                def __init__(self, machine):
+                    self._lease = machine.memory.lease(8, "idx")
+
+            class Child(Base):
+                def close(self):
+                    self._lease.release()
+            """
+        assert not _active(src)
+
+    def test_lease_returner_call_site_discard_flagged(self):
+        src = """
+            def make_lease(machine):
+                return machine.memory.lease(8, "x")
+
+            def bad(machine):
+                make_lease(machine)
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R5"
+        assert "make_lease" in finding.message
+
+    def test_lease_returner_call_site_with_is_clean(self):
+        src = """
+            def make_lease(machine):
+                return machine.memory.lease(8, "x")
+
+            def good(machine):
+                with make_lease(machine):
+                    work()
+            """
+        assert not _active(src)
+
+    def test_wrapper_propagates_returner_obligation(self):
+        src = """
+            def make_lease(machine):
+                return machine.memory.lease(8, "x")
+
+            def wrapper(machine):
+                return make_lease(machine)
+
+            def bad(machine):
+                lease = wrapper(machine)
+                work()
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R5" and "wrapper" in finding.message
+
+    def test_passed_to_releasing_callee_is_clean(self):
+        src = """
+            def consume(lease):
+                try:
+                    work()
+                finally:
+                    lease.release()
+
+            def f(machine):
+                held = machine.memory.lease(8, "x")
+                consume(held)
+            """
+        assert not _active(src)
+
+    def test_passed_to_non_releasing_callee_flagged(self):
+        src = """
+            def consume(lease):
+                return lease.size
+
+            def f(machine):
+                held = machine.memory.lease(8, "x")
+                consume(held)
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R5" and "consume" in finding.message
 
 
 class TestR6KernelBypass:
@@ -280,6 +484,242 @@ class TestR6KernelBypass:
         assert not _active(src, "tests/test_x.py", rules=get_rules(["R6"]))
 
 
+ROUTER_OK = """
+    class Router:
+        def _request(self, shard, kind, payload=None):
+            return send(shard, kind, payload)
+
+        def ingest(self, recs):
+            return self._request(0, "ingest", recs)
+    """
+
+WORKER_OK = """
+    class ShardWorker:
+        def _handle(self, kind, payload):
+            if kind == "ingest":
+                return ("ok", 1)
+            return ("error", "unknown")
+    """
+
+
+class TestR8ShardProtocol:
+    def test_conforming_protocol_is_clean(self):
+        assert not _project_findings(
+            {
+                "repro/shard/router.py": ROUTER_OK,
+                "repro/shard/worker.py": WORKER_OK,
+            },
+            "R8",
+        )
+
+    def test_seeded_defect_router_only_kind(self):
+        router = """
+            class Router:
+                def _request(self, shard, kind, payload=None):
+                    return send(shard, kind, payload)
+
+                def ingest(self, recs):
+                    return self._request(0, "ingest", recs)
+
+                def splitz(self):
+                    return self._request(0, "splitz", None)
+            """
+        findings = _project_findings(
+            {
+                "repro/shard/router.py": router,
+                "repro/shard/worker.py": WORKER_OK,
+            },
+            "R8",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "R8"
+        assert '"splitz"' in findings[0].message
+        assert findings[0].path == "repro/shard/router.py"
+
+    def test_dead_handler_arm_flagged(self):
+        worker = """
+            class ShardWorker:
+                def _handle(self, kind, payload):
+                    if kind == "ingest":
+                        return ("ok", 1)
+                    if kind == "ghost":
+                        return ("gone", None)
+                    return ("error", "unknown")
+            """
+        findings = _project_findings(
+            {
+                "repro/shard/router.py": ROUTER_OK,
+                "repro/shard/worker.py": worker,
+            },
+            "R8",
+        )
+        assert len(findings) == 1
+        assert '"ghost"' in findings[0].message
+        assert "dead protocol arm" in findings[0].message
+
+    def test_doc_table_reply_mismatch_flagged(self):
+        worker = '''
+            """Worker.
+
+            ========  ========  ==========
+            kind      payload   reply
+            ========  ========  ==========
+            ingest    recs      done: n
+            ========  ========  ==========
+            """
+
+            class ShardWorker:
+                def _handle(self, kind, payload):
+                    if kind == "ingest":
+                        return ("ok", 1)
+                    return ("error", "unknown")
+            '''
+        findings = _project_findings(
+            {
+                "repro/shard/router.py": ROUTER_OK,
+                "repro/shard/worker.py": worker,
+            },
+            "R8",
+        )
+        assert any(
+            'says "ingest" replies "done"' in f.message for f in findings
+        )
+
+    def test_documented_but_unhandled_kind_flagged(self):
+        worker = '''
+            """Worker.
+
+            ========  ========  ==========
+            kind      payload   reply
+            ========  ========  ==========
+            ingest    recs      ok: n
+            seal      k         sealed: n
+            ========  ========  ==========
+            """
+
+            class ShardWorker:
+                def _handle(self, kind, payload):
+                    if kind == "ingest":
+                        return ("ok", 1)
+                    return ("error", "unknown")
+            '''
+        findings = _project_findings(
+            {
+                "repro/shard/router.py": ROUTER_OK,
+                "repro/shard/worker.py": worker,
+            },
+            "R8",
+        )
+        assert any(
+            'documents request kind "seal"' in f.message for f in findings
+        )
+
+    def test_inert_without_shard_modules(self):
+        assert not _project_findings({ALG_PATH: "x = 1\n"}, "R8")
+
+
+class TestR9RegistryConsistency:
+    def test_phase_label_with_slash_flagged(self):
+        src = """
+            def f(machine):
+                with machine.phase("partition/distribute"):
+                    pass
+            """
+        (finding,) = _active(src)
+        assert finding.rule == "R9" and "'/'" in finding.message
+
+    def test_phase_label_plain_is_clean(self):
+        src = """
+            def f(machine):
+                with machine.phase("distribute"):
+                    pass
+            """
+        assert not _active(src)
+
+    def test_dynamic_phase_label_skipped(self):
+        src = """
+            def f(machine, label):
+                with machine.phase(label):
+                    pass
+            """
+        assert not _active(src)
+
+    def test_unknown_formula_reference_flagged(self):
+        findings = _project_findings(
+            {
+                "repro/obs/solvers.py": """
+                    SOLVERS = {
+                        "sort": Solver(name="sort", formula_name="missing_fn"),
+                    }
+                    """,
+                "repro/bounds/formulas.py": """
+                    def sort_io(n, m, b):
+                        return n
+                    """,
+            },
+            "R9",
+        )
+        assert len(findings) == 1
+        assert "missing_fn" in findings[0].message
+        assert findings[0].path == "repro/obs/solvers.py"
+
+    def test_composite_formula_expressions_resolve_per_identifier(self):
+        assert not _project_findings(
+            {
+                "repro/obs/solvers.py": """
+                    SOLVERS = {
+                        "p": Solver(name="p", formula_name="a_io + b_io"),
+                    }
+                    """,
+                "repro/bounds/formulas.py": """
+                    def a_io(n):
+                        return n
+
+                    def b_io(n):
+                        return n
+                    """,
+            },
+            "R9",
+        )
+
+    def test_repo_triangle_holds(self):
+        # The real registry: every solver has a budget envelope and a
+        # formula; every budget entry has a solver (R9 on the repo is
+        # part of the repo gate, this pins it directly).
+        report = lint_paths(rule_ids=["R9"])
+        assert report.findings == [], "\n" + report.render()
+
+
+class TestCallGraphGolden:
+    def test_resolution_rate_at_least_95_percent(self):
+        report = lint_paths()
+        assert report.callgraph["call_sites"] > 3000
+        assert report.callgraph["resolution_rate"] >= 0.95, report.callgraph
+
+    def test_known_edges_resolve(self):
+        from repro.lint import default_root, iter_python_files
+        from repro.lint.runner import _relpath, default_lint_paths
+
+        root = default_root()
+        summaries = []
+        for f in iter_python_files(default_lint_paths(root)):
+            summaries.append(
+                summarize_module(
+                    ModuleContext.from_source(f.read_text(), _relpath(f, root))
+                )
+            )
+        project = ProjectIndex(summaries, root=root)
+        graph = CallGraph(project)
+        # selection's helper is called by the mo5 pipeline
+        callers = graph.callers("repro.alg.selection._group_medians")
+        assert any("median_of_five_file" in c for c in callers)
+        # cmp_median5 resolves into the em comparisons module
+        callees = graph.callees(
+            "repro.alg.selection.median_of_five_file"
+        )
+        assert "repro.em.comparisons.cmp_median5" in callees
+
+
 class TestSuppression:
     def test_same_line_directive_suppresses(self):
         active, suppressed = _lint(
@@ -308,6 +748,183 @@ class TestSuppression:
         )
         assert not active
         assert sorted(_rule_ids(suppressed)) == ["R2", "R3", "R6"]
+
+    def test_project_rule_findings_respect_suppressions(self):
+        active, suppressed = _lint(
+            "def f(machine):\n"
+            '    with machine.phase("a/b"):  # emlint: disable=R9\n'
+            "        pass\n"
+        )
+        assert not active and _rule_ids(suppressed) == ["R9"]
+
+
+class TestSuppressionEdgeCases:
+    """Directives must be *comments* — not string content — and must
+    tolerate odd spelling."""
+
+    def test_directive_inside_string_is_not_a_suppression(self):
+        active, suppressed = _lint(
+            'def f():\n'
+            '    return np.random.rand(), "# emlint: disable=R4"\n'
+        )
+        assert _rule_ids(active) == ["R4"] and not suppressed
+
+    def test_directive_inside_fstring_is_not_a_suppression(self):
+        active, suppressed = _lint(
+            'def f(x):\n'
+            '    return np.random.rand(), f"{x} # emlint: disable=R4"\n'
+        )
+        assert _rule_ids(active) == ["R4"] and not suppressed
+
+    def test_directive_inside_multiline_string_is_inert(self):
+        active, suppressed = _lint(
+            'DOC = """\n'
+            "# emlint: disable=R4\n"
+            '"""\n'
+            "def f():\n"
+            "    return np.random.rand()\n"
+        )
+        assert _rule_ids(active) == ["R4"] and not suppressed
+
+    def test_odd_whitespace_and_multiple_rules(self):
+        active, suppressed = _lint(
+            "def f():\n"
+            "    return np.random.rand()  #emlint:   disable=R1 ,R4,  R2\n"
+        )
+        assert not active and _rule_ids(suppressed) == ["R4"]
+
+    def test_lowercase_rule_id_in_directive(self):
+        active, suppressed = _lint(
+            "def f():\n    return np.random.rand()  # emlint: disable=r4\n"
+        )
+        assert not active and _rule_ids(suppressed) == ["R4"]
+
+    def test_crlf_line_endings(self):
+        src = (
+            "def f():\r\n"
+            "    return np.random.rand()  # emlint: disable=R4\r\n"
+        )
+        active, suppressed = lint_source(src, ALG_PATH)
+        assert not active and _rule_ids(suppressed) == ["R4"]
+
+    def test_crlf_without_directive_still_finds(self):
+        src = "def f():\r\n    return np.random.rand()\r\n"
+        active, _ = lint_source(src, ALG_PATH)
+        assert _rule_ids(active) == ["R4"]
+
+    def test_syntax_findings_are_never_suppressable(self):
+        active, suppressed = _lint("def f(:  # emlint: disable\n")
+        assert _rule_ids(active) == ["SYNTAX"] and not suppressed
+
+    def test_syntax_unsuppressable_survives_runner_and_cache(self, tmp_path):
+        bad = tmp_path / "repro" / "alg" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(:  # emlint: disable\n")
+        cache = tmp_path / "cache.json"
+        for _ in range(2):  # second pass serves the finding from cache
+            report = lint_paths([bad], root=tmp_path, cache_path=cache)
+            assert _rule_ids(report.findings) == ["SYNTAX"]
+            assert not report.suppressed
+
+
+class TestAnalysisCache:
+    def _tree(self, tmp_path, body):
+        f = tmp_path / "repro" / "alg" / "mod.py"
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(body)
+        return f
+
+    def test_warm_run_identical_and_hits(self, tmp_path):
+        f = self._tree(tmp_path, "def f(m):\n    return m.disk.peek(0)\n")
+        cache = tmp_path / "cache.json"
+        r1 = lint_paths([f], root=tmp_path, cache_path=cache)
+        r2 = lint_paths([f], root=tmp_path, cache_path=cache)
+        assert r1.to_dict()["findings"] == r2.to_dict()["findings"]
+        assert r2.cache_stats == {"hits": 1, "misses": 0}
+
+    def test_edit_invalidates_by_content(self, tmp_path):
+        f = self._tree(tmp_path, "def f(m):\n    return m.disk.peek(0)\n")
+        cache = tmp_path / "cache.json"
+        r1 = lint_paths([f], root=tmp_path, cache_path=cache)
+        assert _rule_ids(r1.findings) == ["R2"]
+        self._tree(tmp_path, "def f(m):\n    return 1\n")
+        r2 = lint_paths([f], root=tmp_path, cache_path=cache)
+        assert r2.cache_stats["misses"] == 1
+        assert not r2.findings
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        f = self._tree(tmp_path, "def f(m):\n    return m.disk.peek(0)\n")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = lint_paths([f], root=tmp_path, cache_path=cache)
+        assert _rule_ids(report.findings) == ["R2"]
+
+    def test_no_cache_mode(self, tmp_path):
+        f = self._tree(tmp_path, "def f(m):\n    return m.disk.peek(0)\n")
+        report = lint_paths([f], root=tmp_path, use_cache=False)
+        assert _rule_ids(report.findings) == ["R2"]
+        assert report.cache_stats == {"hits": 0, "misses": 1}
+
+
+class TestDiffAndBaseline:
+    def test_git_changed_files_runs_against_head(self):
+        changed = git_changed_files("HEAD")
+        if changed is None:
+            pytest.skip("git not available")
+        assert isinstance(changed, list)
+
+    def test_unknown_ref_returns_none(self):
+        assert git_changed_files("no-such-ref-xyz") is None
+
+    def test_baseline_delta_drops_known_findings(self):
+        old = LintFinding(
+            path="repro/a.py", line=3, col=0, rule="R2", message="known"
+        )
+        new = LintFinding(
+            path="repro/b.py", line=9, col=0, rule="R4", message="fresh"
+        )
+        report = LintReport(findings=[old, new], files=2, rules=["R2", "R4"])
+        baseline = {"findings": [old.to_dict()]}
+        delta = baseline_delta(report, baseline)
+        assert [f.message for f in delta.findings] == ["fresh"]
+
+    def test_baseline_delta_is_line_insensitive(self):
+        # an edit above a pre-existing finding shifts its line; it must
+        # not resurface as new.
+        old = LintFinding(
+            path="repro/a.py", line=3, col=0, rule="R2", message="known"
+        )
+        moved = LintFinding(
+            path="repro/a.py", line=30, col=0, rule="R2", message="known"
+        )
+        report = LintReport(findings=[moved], files=1, rules=["R2"])
+        delta = baseline_delta(report, {"findings": [old.to_dict()]})
+        assert not delta.findings
+
+    def test_only_paths_accepts_git_style_repo_relative_paths(self):
+        # `--diff` feeds git's repo-root-relative names ("src/repro/...")
+        # while findings use lint-root-relative names ("repro/...");
+        # both must select the file.
+        for spelling in (
+            "src/repro/alg/distribute.py",
+            "repro/alg/distribute.py",
+        ):
+            report = lint_paths(only_paths=[spelling])
+            assert {f.rule for f in report.suppressed} == {"R3"}, spelling
+
+    def test_only_paths_restricts_reporting(self, tmp_path):
+        a = tmp_path / "repro" / "alg" / "a.py"
+        a.parent.mkdir(parents=True)
+        a.write_text("def f(m):\n    return m.disk.peek(0)\n")
+        b = a.parent / "b.py"
+        b.write_text("def g():\n    return np.random.rand()\n")
+        full = lint_paths([a, b], root=tmp_path, use_cache=False)
+        assert sorted(_rule_ids(full.findings)) == ["R2", "R4"]
+        only = lint_paths(
+            [a, b], root=tmp_path, use_cache=False,
+            only_paths=["repro/alg/b.py"],
+        )
+        assert _rule_ids(only.findings) == ["R4"]
 
 
 class TestFindingsAndReports:
@@ -338,25 +955,37 @@ class TestFindingsAndReports:
         bad = tmp_path / "repro" / "alg" / "bad.py"
         bad.parent.mkdir(parents=True)
         bad.write_text("def f(m):\n    return m.disk.peek(0)\n")
-        report = lint_paths([bad], root=tmp_path)
+        report = lint_paths([bad], root=tmp_path, use_cache=False)
         assert not report.ok and report.files == 1
         payload = json.loads(report.to_json())
         assert payload["ok"] is False
         assert payload["findings"][0]["rule"] == "R2"
         assert payload["findings"][0]["path"] == "repro/alg/bad.py"
-        assert "2 " not in report.render() or report.render()
+        assert "callgraph" in payload and "cache" in payload
 
 
 class TestRepoGate:
     def test_repo_is_lint_clean(self):
         # The CI gate, runnable as a plain test: the package's own
-        # source has no active findings under every rule.
+        # source (plus scripts/ and benchmarks/) has no active findings
+        # under every rule.
         report = lint_paths()
         assert report.files > 50
         assert report.findings == [], "\n" + report.render()
 
     def test_repo_suppressions_are_justified(self):
         # Every committed suppression is one we placed deliberately;
-        # this pins the count so new ones show up in review.
+        # this pins the per-rule budget so new ones show up in review.
+        # The v2 dataflow engine retired the R3 suppressions in
+        # selection.py (callers charge cmp_median5) — the budget must
+        # only ever shrink.
         report = lint_paths()
-        assert len(report.suppressed) == 11
+        by_rule = Counter(f.rule for f in report.suppressed)
+        assert dict(by_rule) == {
+            "R2": 3,  # documented uncounted verification reads
+            "R3": 1,  # bucket_indices: exported API, callers charge
+            "R5": 2,  # cli sanitize-check deliberate trap fixtures
+            "R6": 1,  # _group_medians remainder: no machine in scope
+            "R7": 2,  # worker reading its own disk via a local alias
+        }
+        assert len(report.suppressed) == 9
